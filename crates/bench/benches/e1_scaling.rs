@@ -1,0 +1,52 @@
+//! E1 — I/O scaling in E: every algorithm on ER graphs of growing size.
+//! The table EXPERIMENTS.md records comes from the exact I/O counters (run
+//! the `reproduce` binary); Criterion here additionally measures the
+//! wall-clock cost of the simulated runs and keeps the comparison honest
+//! across code changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen::generators;
+use std::hint::black_box;
+use trienum::{count_triangles, Algorithm};
+use trienum_bench::default_config;
+
+fn bench_e1(c: &mut Criterion) {
+    let cfg = default_config();
+    let mut group = c.benchmark_group("e1_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &e in &[2_000usize, 4_000] {
+        let g = generators::erdos_renyi(e / 8, e, 1);
+        let algs = [
+            Algorithm::CacheAwareRandomized { seed: 1 },
+            Algorithm::CacheObliviousRandomized { seed: 1 },
+            Algorithm::DeterministicCacheAware {
+                family_seed: 1,
+                candidates: Some(16),
+            },
+            Algorithm::HuTaoChung,
+            Algorithm::SortBased,
+        ];
+        for alg in algs {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), e),
+                &g,
+                |b, g| b.iter(|| black_box(count_triangles(black_box(g), alg, cfg).0)),
+            );
+        }
+        if e <= 2_000 {
+            group.bench_with_input(
+                BenchmarkId::new("block-nested-loop", e),
+                &g,
+                |b, g| {
+                    b.iter(|| black_box(count_triangles(black_box(g), Algorithm::BlockNestedLoop, cfg).0))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

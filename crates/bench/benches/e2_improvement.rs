@@ -1,0 +1,32 @@
+//! E2 — the improvement factor over Hu–Tao–Chung as E/M grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emsim::EmConfig;
+use graphgen::generators;
+use std::hint::black_box;
+use trienum::{count_triangles, Algorithm};
+
+fn bench_e2(c: &mut Criterion) {
+    let mem = 512usize;
+    let cfg = EmConfig::new(mem, 32);
+    let mut group = c.benchmark_group("e2_improvement");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &ratio in &[8usize, 16] {
+        let e = mem * ratio;
+        let g = generators::erdos_renyi((e / 8).max(64), e, 2);
+        group.bench_with_input(BenchmarkId::new("cache-aware", ratio), &g, |b, g| {
+            b.iter(|| {
+                black_box(count_triangles(black_box(g), Algorithm::CacheAwareRandomized { seed: 3 }, cfg).0)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hu-tao-chung", ratio), &g, |b, g| {
+            b.iter(|| black_box(count_triangles(black_box(g), Algorithm::HuTaoChung, cfg).0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

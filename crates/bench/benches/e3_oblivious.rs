@@ -1,0 +1,29 @@
+//! E3 — cache-obliviousness: the same algorithm across machine
+//! configurations; wall-clock time here, exact I/O counts via `reproduce`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emsim::EmConfig;
+use graphgen::generators;
+use std::hint::black_box;
+use trienum::{count_triangles, Algorithm};
+
+fn bench_e3(c: &mut Criterion) {
+    let g = generators::erdos_renyi(500, 4_000, 7);
+    let alg = Algorithm::CacheObliviousRandomized { seed: 11 };
+    let mut group = c.benchmark_group("e3_oblivious");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &(m, b) in &[(1usize << 9, 32usize), (1 << 12, 32), (1 << 14, 128)] {
+        let cfg = EmConfig::new(m, b);
+        group.bench_with_input(
+            BenchmarkId::new(format!("M{m}_B{b}"), 4_000),
+            &g,
+            |bch, g| bch.iter(|| black_box(count_triangles(black_box(g), alg, cfg).0)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E4 — the lower-bound witness: cliques with t = Θ(E^{3/2}).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen::generators;
+use std::hint::black_box;
+use trienum::{count_triangles, Algorithm};
+use trienum_bench::default_config;
+
+fn bench_e4(c: &mut Criterion) {
+    let cfg = default_config();
+    let mut group = c.benchmark_group("e4_optimality");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[30usize, 60] {
+        let g = generators::clique(n);
+        for alg in [
+            Algorithm::CacheAwareRandomized { seed: 1 },
+            Algorithm::CacheObliviousRandomized { seed: 1 },
+            Algorithm::DeterministicCacheAware {
+                family_seed: 1,
+                candidates: Some(16),
+            },
+        ] {
+            group.bench_with_input(BenchmarkId::new(alg.name(), n), &g, |b, g| {
+                b.iter(|| black_box(count_triangles(black_box(g), alg, cfg).0))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E5 — the cost of determinism: randomized vs derandomized cache-aware
+//! algorithm, including the greedy colouring preprocessing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen::generators;
+use std::hint::black_box;
+use trienum::{count_triangles, Algorithm};
+use trienum_bench::default_config;
+
+fn bench_e5(c: &mut Criterion) {
+    let cfg = default_config();
+    let g = generators::erdos_renyi(1_000, 8_000, 4);
+    let mut group = c.benchmark_group("e5_derand");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_with_input(BenchmarkId::new("randomized", 8_000), &g, |b, g| {
+        b.iter(|| {
+            black_box(count_triangles(black_box(g), Algorithm::CacheAwareRandomized { seed: 5 }, cfg).0)
+        })
+    });
+    for &cands in &[8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("derandomized", cands), &g, |b, g| {
+            b.iter(|| {
+                black_box(
+                    count_triangles(
+                        black_box(g),
+                        Algorithm::DeterministicCacheAware {
+                            family_seed: 5,
+                            candidates: Some(cands),
+                        },
+                        cfg,
+                    )
+                    .0,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E6 — the database motivation: the 5NF Sells join as triangle enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen::generators;
+use std::hint::black_box;
+use trienum::{count_triangles, Algorithm};
+use trienum_bench::default_config;
+
+fn bench_e6(c: &mut Criterion) {
+    let cfg = default_config();
+    let (g, _, _) = generators::sells_join(600, 80, 160, 60, 6, 9);
+    let mut group = c.benchmark_group("e6_join");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for alg in [
+        Algorithm::CacheAwareRandomized { seed: 2 },
+        Algorithm::CacheObliviousRandomized { seed: 2 },
+        Algorithm::HuTaoChung,
+        Algorithm::SortBased,
+    ] {
+        group.bench_with_input(BenchmarkId::new(alg.name(), g.edge_count()), &g, |b, g| {
+            b.iter(|| black_box(count_triangles(black_box(g), alg, cfg).0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E7 — substrate microbenchmarks: the external-memory sorting primitives
+//! and the simulator's access path (the costs every higher-level number is
+//! built on), plus the in-memory oracle as a work reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emsim::{EmConfig, ExtVec, Machine};
+use graphgen::{generators, naive};
+use std::hint::black_box;
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_sorts");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[10_000usize, 50_000] {
+        let data: Vec<u64> = (0..n as u64).rev().collect();
+        group.bench_with_input(BenchmarkId::new("multiway_mergesort", n), &data, |b, data| {
+            b.iter(|| {
+                let machine = Machine::new(EmConfig::new(1 << 12, 64));
+                let v = ExtVec::from_slice(&machine, data);
+                black_box(emalgo::external_sort_by_key(&v, |x| *x).len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oblivious_mergesort", n), &data, |b, data| {
+            b.iter(|| {
+                let machine = Machine::new(EmConfig::new(1 << 12, 64));
+                let v = ExtVec::from_slice(&machine, data);
+                black_box(emalgo::oblivious_sort_by_key(&v, |x| *x).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_simulator");
+    group.sample_size(20);
+    let machine = Machine::new(EmConfig::new(1 << 12, 64));
+    let v = ExtVec::from_slice(&machine, &(0..100_000u64).collect::<Vec<_>>());
+    group.bench_function("scan_100k_words", |b| {
+        b.iter(|| black_box(v.iter().sum::<u64>()))
+    });
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_oracle");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let g = generators::erdos_renyi(2_000, 16_000, 3);
+    group.bench_function("in_memory_oracle_16k_edges", |b| {
+        b.iter(|| black_box(naive::count_triangles(black_box(&g))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorts, bench_simulator_scan, bench_oracle);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Regenerates every experiment table recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p trienum-bench --bin reproduce            # all experiments
+//! cargo run --release -p trienum-bench --bin reproduce -- --exp e2 --quick
+//! ```
+//!
+//! `--quick` shrinks the instance sizes (useful for CI smoke runs); the
+//! default sizes are the ones EXPERIMENTS.md records.
+
+use trienum_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Option<String> = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+    let want = |name: &str| selected.as_deref().is_none_or(|s| s == name);
+
+    println!("trienum experiment harness — reproducing the claims of");
+    println!("Pagh & Silvestri, \"The Input/Output Complexity of Triangle Enumeration\" (PODS 2014)");
+    println!("(simulated external-memory machine; every I/O is an exact block-transfer count)");
+
+    if want("e1") {
+        let sizes: &[usize] = if quick {
+            &[2_000, 4_000]
+        } else {
+            &[4_000, 8_000, 16_000, 32_000]
+        };
+        let rows = experiment_e1(sizes, true);
+        println!("{}", render_table("E1: I/O scaling in E (ER graphs, M=4096, B=64)", &rows));
+    }
+    if want("e2") {
+        let ratios: &[usize] = if quick { &[4, 16] } else { &[4, 8, 16, 32, 64] };
+        let rows = experiment_e2(ratios);
+        println!(
+            "{}",
+            render_table(
+                "E2: measured vs predicted improvement over Hu-Tao-Chung (M=512, B=32)",
+                &rows
+            )
+        );
+    }
+    if want("e3") {
+        let configs: &[(usize, usize)] = if quick {
+            &[(1 << 10, 32), (1 << 13, 32)]
+        } else {
+            &[
+                (1 << 9, 32),
+                (1 << 10, 32),
+                (1 << 12, 32),
+                (1 << 14, 32),
+                (1 << 12, 64),
+                (1 << 12, 128),
+                (1 << 14, 128),
+            ]
+        };
+        let e = if quick { 4_000 } else { 12_000 };
+        let rows = experiment_e3(e, configs);
+        println!(
+            "{}",
+            render_table(
+                &format!("E3: cache-obliviousness — one binary, E={e}, varying (M, B)"),
+                &rows
+            )
+        );
+    }
+    if want("e4") {
+        let sizes: &[usize] = if quick { &[40, 60] } else { &[40, 60, 80, 100] };
+        let rows = experiment_e4(sizes);
+        println!(
+            "{}",
+            render_table(
+                "E4: optimality vs the Theorem 3 lower bound (cliques, M=512, B=32)",
+                &rows
+            )
+        );
+    }
+    if want("e5") {
+        let sizes: &[usize] = if quick { &[4_000] } else { &[8_000, 16_000] };
+        let rows = experiment_e5(sizes);
+        println!(
+            "{}",
+            render_table("E5: derandomization — colour balance and I/O cost", &rows)
+        );
+    }
+    if want("e6") {
+        let groups: &[usize] = if quick { &[40] } else { &[40, 120] };
+        let rows = experiment_e6(groups);
+        println!(
+            "{}",
+            render_table("E6: the 5NF Sells join as triangle enumeration", &rows)
+        );
+    }
+    if want("e7") {
+        let sizes: &[usize] = if quick { &[4_000] } else { &[8_000, 16_000] };
+        let rows = experiment_e7(sizes);
+        println!("{}", render_table("E7: work optimality (operations vs E^1.5)", &rows));
+    }
+    if want("e8") {
+        let (e, trials) = if quick { (4_000, 10) } else { (16_000, 30) };
+        let rows = experiment_e8(e, trials);
+        println!(
+            "{}",
+            render_table("E8: Lemma 3 — E[X_xi] <= E*M over random 4-wise colourings", &rows)
+        );
+    }
+}

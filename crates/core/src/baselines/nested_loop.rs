@@ -1,0 +1,136 @@
+//! The pipelined block-nested-loop three-way join baseline.
+//!
+//! Triangle enumeration is the natural join of three copies of the edge
+//! relation; two block-nested-loop joins evaluated in a pipeline cost
+//! `O((E/M)² · E/B) = O(E³/(M²·B))` I/Os (paper §1.1). The implementation
+//! keeps one memory-sized chunk of each of the two outer relations resident,
+//! indexed by their larger endpoints, and streams the edge list once per
+//! chunk pair to find the closing (pivot) edges.
+
+use std::collections::HashMap;
+
+use emsim::EmConfig;
+use graphgen::{Triangle, VertexId};
+
+use crate::input::ExtGraph;
+use crate::sink::TriangleSink;
+
+/// Fraction of the memory budget for each of the two resident chunks and
+/// their indexes.
+const CHUNK_DIVISOR: usize = 8;
+
+/// Runs the block-nested-loop baseline, returning the number of triangles.
+pub(crate) fn run_block_nested_loop(
+    graph: &ExtGraph,
+    cfg: EmConfig,
+    sink: &mut dyn TriangleSink,
+) -> u64 {
+    let machine = graph.machine().clone();
+    let edges = graph.edges();
+    let e = edges.len();
+    if e < 3 {
+        return 0;
+    }
+    let chunk = (cfg.mem_words / CHUNK_DIVISOR).max(1);
+    let mut emitted = 0u64;
+
+    let mut ri_start = 0usize;
+    while ri_start < e {
+        let ri_end = (ri_start + chunk).min(e);
+        // Index of R-chunk edges by their larger endpoint: x → cone candidates v1 < x.
+        let ri: Vec<_> = edges.load_range(ri_start, ri_end);
+        let _ri_lease = machine.gauge().lease((ri.len() * 3) as u64);
+        let mut ri_index: HashMap<VertexId, Vec<VertexId>> = HashMap::with_capacity(ri.len());
+        for edge in &ri {
+            ri_index.entry(edge.v).or_default().push(edge.u);
+            machine.work(1);
+        }
+
+        let mut sj_start = 0usize;
+        while sj_start < e {
+            let sj_end = (sj_start + chunk).min(e);
+            let sj: Vec<_> = edges.load_range(sj_start, sj_end);
+            let _sj_lease = machine.gauge().lease((sj.len() * 3) as u64);
+            let mut sj_index: HashMap<VertexId, Vec<VertexId>> = HashMap::with_capacity(sj.len());
+            for edge in &sj {
+                sj_index.entry(edge.v).or_default().push(edge.u);
+                machine.work(1);
+            }
+
+            // Stream the full edge list looking for closing (pivot) edges
+            // {x, y}: the cone v1 must satisfy {v1,x} ∈ R-chunk, {v1,y} ∈
+            // S-chunk and v1 < x < y, which makes the emission unique over
+            // all chunk pairs.
+            for pivot in edges.iter() {
+                machine.work(1);
+                let (x, y) = (pivot.u, pivot.v);
+                let (Some(rs), Some(ss)) = (ri_index.get(&x), sj_index.get(&y)) else {
+                    continue;
+                };
+                if rs.len() <= ss.len() {
+                    let sset: std::collections::HashSet<_> = ss.iter().collect();
+                    for &v1 in rs {
+                        machine.work(1);
+                        if v1 < x && sset.contains(&v1) {
+                            sink.emit(Triangle::new(v1, x, y));
+                            emitted += 1;
+                        }
+                    }
+                } else {
+                    let rset: std::collections::HashSet<_> = rs.iter().collect();
+                    for &v1 in ss {
+                        machine.work(1);
+                        if v1 < x && rset.contains(&v1) {
+                            sink.emit(Triangle::new(v1, x, y));
+                            emitted += 1;
+                        }
+                    }
+                }
+            }
+            sj_start = sj_end;
+        }
+        ri_start = ri_end;
+    }
+    emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::StrictSink;
+    use emsim::Machine;
+    use graphgen::{generators, naive};
+
+    fn run(g: &graphgen::Graph, cfg: EmConfig) -> (u64, u64) {
+        let machine = Machine::new(cfg);
+        let eg = ExtGraph::load(&machine, g);
+        machine.cold_cache();
+        let before = machine.io().total();
+        let mut sink = StrictSink::new();
+        let n = run_block_nested_loop(&eg, cfg, &mut sink);
+        (n, machine.io().total() - before)
+    }
+
+    #[test]
+    fn matches_oracle_small_graphs() {
+        for seed in [1u64, 4] {
+            let g = generators::erdos_renyi(60, 400, seed);
+            let (n, _) = run(&g, EmConfig::new(256, 32));
+            assert_eq!(n, naive::count_triangles(&g), "seed {seed}");
+        }
+        let (n, _) = run(&generators::clique(12), EmConfig::new(256, 32));
+        assert_eq!(n, 220);
+    }
+
+    #[test]
+    fn io_scales_with_inverse_square_of_memory() {
+        let g = generators::erdos_renyi(150, 2500, 2);
+        let (_, small) = run(&g, EmConfig::new(256, 32));
+        let (_, large) = run(&g, EmConfig::new(1024, 32));
+        // (E/M)² scaling: 4x memory → ~16x fewer chunk-pair scans.
+        assert!(
+            small as f64 > 6.0 * large as f64,
+            "expected strong superlinear benefit from memory (small={small}, large={large})"
+        );
+    }
+}

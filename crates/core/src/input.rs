@@ -1,0 +1,128 @@
+//! Loading a graph into simulated external memory in the paper's canonical
+//! representation.
+
+use emsim::{ExtVec, Machine};
+use graphgen::{Edge, Graph, Triangle, VertexId};
+
+/// A graph resident in simulated external memory, in the canonical form the
+/// paper assumes (Section 1.3):
+///
+/// * vertices are totally ordered by degree, ties broken consistently — here
+///   the vertices are *renumbered* so that the integer order is that order;
+/// * every edge `{v1, v2}` is stored as `(v1, v2)` with `v1 < v2`;
+/// * the edge tuples are sorted lexicographically, so each vertex's
+///   higher-ordered neighbours are stored consecutively.
+///
+/// The paper notes that converting an arbitrary representation into this form
+/// costs `sort(E)` I/Os; as in the paper, that preprocessing is not charged
+/// to the enumeration algorithms (only the `E/B` cost of materialising the
+/// edge list on the simulated disk is incurred here).
+pub struct ExtGraph {
+    machine: Machine,
+    edges: ExtVec<Edge>,
+    vertices: usize,
+    back_map: Vec<VertexId>,
+}
+
+impl ExtGraph {
+    /// Copies `graph` onto `machine`'s disk in canonical form.
+    pub fn load(machine: &Machine, graph: &Graph) -> Self {
+        let (ordered, back_map) = graph.degree_ordered();
+        let mut edges: ExtVec<Edge> = ExtVec::new(machine);
+        for e in ordered.edges() {
+            edges.push(*e);
+        }
+        Self {
+            machine: machine.clone(),
+            edges,
+            vertices: ordered.vertex_count(),
+            back_map,
+        }
+    }
+
+    /// The machine the graph lives on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The canonical edge list (sorted lexicographically, `u < v`, ids in
+    /// degree order).
+    pub fn edges(&self) -> &ExtVec<Edge> {
+        &self.edges
+    }
+
+    /// Number of edges `E`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of vertices `V` (including isolated vertices).
+    pub fn vertex_count(&self) -> usize {
+        self.vertices
+    }
+
+    /// Translates a triangle expressed in the canonical (degree-ordered)
+    /// vertex ids back into the caller's original vertex ids.
+    pub fn translate(&self, t: Triangle) -> Triangle {
+        Triangle::new(
+            self.back_map[t.a as usize],
+            self.back_map[t.b as usize],
+            self.back_map[t.c as usize],
+        )
+    }
+
+    /// The original id of canonical vertex `v`.
+    pub fn original_id(&self, v: VertexId) -> VertexId {
+        self.back_map[v as usize]
+    }
+}
+
+impl std::fmt::Debug for ExtGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ExtGraph(V={}, E={})", self.vertices, self.edges.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsim::EmConfig;
+    use graphgen::generators;
+
+    #[test]
+    fn loaded_graph_is_sorted_and_degree_ordered() {
+        let g = generators::erdos_renyi(200, 800, 3);
+        let machine = Machine::new(EmConfig::new(1 << 12, 64));
+        let eg = ExtGraph::load(&machine, &g);
+        assert_eq!(eg.edge_count(), 800);
+        assert_eq!(eg.vertex_count(), 200);
+        let loaded = eg.edges().load_all();
+        assert!(loaded.windows(2).all(|w| w[0] < w[1]), "edges sorted and distinct");
+        assert!(loaded.iter().all(|e| e.u < e.v), "edges canonical");
+    }
+
+    #[test]
+    fn translation_restores_original_ids() {
+        // A star: the centre gets relabelled to the highest id, so translation
+        // must map it back to 0.
+        let g = generators::star(10);
+        let machine = Machine::new(EmConfig::default());
+        let eg = ExtGraph::load(&machine, &g);
+        let centre_canonical = (eg.vertex_count() - 1) as u32;
+        assert_eq!(eg.original_id(centre_canonical), 0);
+        let t = eg.translate(Triangle::new(centre_canonical, 0, 1));
+        assert!(t.a == 0 || t.b == 0 || t.c == 0);
+    }
+
+    #[test]
+    fn loading_charges_write_side_ios_only() {
+        let g = generators::erdos_renyi(500, 4000, 1);
+        let machine = Machine::new(EmConfig::new(1 << 10, 64));
+        let _eg = ExtGraph::load(&machine, &g);
+        machine.flush();
+        let io = machine.io();
+        assert_eq!(io.reads, 0);
+        // 4000 one-word edges over 64-word blocks = 63 blocks.
+        assert_eq!(io.writes, 4000u64.div_ceil(64));
+    }
+}

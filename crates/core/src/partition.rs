@@ -1,0 +1,203 @@
+//! Colour-class partitioning of the edge set (paper Section 2, step 2).
+//!
+//! Given a colouring `ξ : V → {0, …, c−1}`, the low-degree edge set `E_l` is
+//! partitioned into the `c²` classes
+//! `E_{τ1,τ2} = {(v1,v2) ∈ E_l | v1 < v2, ξ(v1) = τ1, ξ(v2) = τ2}`.
+//! The partition is materialised as **one** edge array sorted by
+//! `(class, v1, v2)` plus an in-core offset table of `c² + 1` entries
+//! (`c² ≤ E/M ≤ M` under the paper's assumptions, so the table respects the
+//! memory budget and is accounted on the gauge by the caller).
+
+use emalgo::external_sort_by_key;
+use emsim::ExtVec;
+use graphgen::{Edge, VertexId};
+
+/// The partition of an edge set into colour classes.
+pub(crate) struct ColorPartition {
+    edges: ExtVec<Edge>,
+    offsets: Vec<usize>,
+    c: u64,
+}
+
+impl ColorPartition {
+    /// Builds the partition of `el` under `color` with `c` colours, using the
+    /// cache-aware sort (`O(sort(E))` I/Os).
+    pub(crate) fn build(el: &ExtVec<Edge>, c: u64, color: &dyn Fn(VertexId) -> u64) -> Self {
+        assert!(c >= 1);
+        let machine = el.machine().clone();
+        let class_of = |e: &Edge| -> u64 { color(e.u) * c + color(e.v) };
+        // Sort by (class, edge) so that every class is a contiguous,
+        // lexicographically sorted range.
+        let sorted = external_sort_by_key(el, |e| (class_of(e), e.u, e.v));
+
+        // One scan to find the class boundaries.
+        let classes = (c * c) as usize;
+        let mut offsets = vec![0usize; classes + 1];
+        let mut counts = vec![0usize; classes];
+        for e in sorted.iter() {
+            machine.work(1);
+            counts[class_of(&e) as usize] += 1;
+        }
+        let mut acc = 0usize;
+        for (k, cnt) in counts.iter().enumerate() {
+            offsets[k] = acc;
+            acc += cnt;
+        }
+        offsets[classes] = acc;
+
+        Self {
+            edges: sorted,
+            offsets,
+            c,
+        }
+    }
+
+    /// Number of edges in class `(τ1, τ2)`.
+    pub(crate) fn class_len(&self, t1: u64, t2: u64) -> usize {
+        let k = (t1 * self.c + t2) as usize;
+        self.offsets[k + 1] - self.offsets[k]
+    }
+
+    /// Total number of partitioned edges.
+    #[cfg(test)]
+    pub(crate) fn total_edges(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+
+    /// The number of words the in-core offset table occupies (for gauge
+    /// accounting by the caller).
+    pub(crate) fn index_words(&self) -> u64 {
+        self.offsets.len() as u64
+    }
+
+    /// Copies class `(τ1, τ2)` into its own array (one scan of the class).
+    pub(crate) fn extract_class(&self, t1: u64, t2: u64) -> ExtVec<Edge> {
+        let machine = self.edges.machine().clone();
+        let k = (t1 * self.c + t2) as usize;
+        let mut out: ExtVec<Edge> = ExtVec::new(&machine);
+        for e in self.edges.range(self.offsets[k], self.offsets[k + 1]) {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Merges the listed classes (given as ordered colour pairs, duplicates
+    /// ignored) into a single lexicographically sorted edge array — the edge
+    /// set `E_{τ1,τ2} ∪ E_{τ1,τ3} ∪ E_{τ2,τ3}` that step 3 feeds to Lemma 2.
+    pub(crate) fn union_sorted(&self, pairs: &[(u64, u64)]) -> ExtVec<Edge> {
+        let machine = self.edges.machine().clone();
+        let mut distinct: Vec<(u64, u64)> = pairs.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+
+        // k-way merge (k ≤ 3) of the sorted class ranges by (u, v).
+        let mut cursors: Vec<(usize, usize)> = distinct
+            .iter()
+            .map(|&(a, b)| {
+                let k = (a * self.c + b) as usize;
+                (self.offsets[k], self.offsets[k + 1])
+            })
+            .collect();
+        let mut out: ExtVec<Edge> = ExtVec::new(&machine);
+        loop {
+            let mut best: Option<(usize, Edge)> = None;
+            for (idx, &(pos, end)) in cursors.iter().enumerate() {
+                if pos < end {
+                    let e = self.edges.get(pos);
+                    if best.map_or(true, |(_, be)| e < be) {
+                        best = Some((idx, e));
+                    }
+                }
+            }
+            match best {
+                Some((idx, e)) => {
+                    machine.work(1);
+                    out.push(e);
+                    cursors[idx].0 += 1;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// The colour-balance statistic
+    /// `X_ξ = Σ_{τ1,τ2} C(|E_{τ1,τ2}|, 2)` of equation (1) — the quantity
+    /// Lemma 3 bounds by `E·M` in expectation and the derandomization keeps
+    /// below `e·E·M`.
+    pub(crate) fn x_statistic(&self) -> u128 {
+        let mut x = 0u128;
+        for k in 0..(self.c * self.c) as usize {
+            let n = (self.offsets[k + 1] - self.offsets[k]) as u128;
+            x += n * n.saturating_sub(1) / 2;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsim::{EmConfig, Machine};
+    use graphgen::generators;
+    use kwise::RandomColoring;
+
+    fn setup(c: u64, seed: u64) -> (Machine, ExtVec<Edge>, ColorPartition, RandomColoring) {
+        let g = generators::erdos_renyi(120, 700, seed);
+        let machine = Machine::new(EmConfig::new(1 << 12, 64));
+        let mut edges: Vec<Edge> = g.edges().to_vec();
+        edges.sort_unstable();
+        let el = ExtVec::from_slice(&machine, &edges);
+        let coloring = RandomColoring::new(c, seed + 1);
+        let part = ColorPartition::build(&el, c, &|v| coloring.color(v));
+        (machine, el, part, coloring)
+    }
+
+    #[test]
+    fn partition_covers_every_edge_exactly_once() {
+        let (_m, el, part, coloring) = setup(4, 3);
+        assert_eq!(part.total_edges(), el.len());
+        let mut reassembled: Vec<Edge> = Vec::new();
+        for t1 in 0..4 {
+            for t2 in 0..4 {
+                let class = part.extract_class(t1, t2).load_all();
+                assert_eq!(class.len(), part.class_len(t1, t2));
+                for e in &class {
+                    assert_eq!(coloring.color(e.u), t1, "wrong colour of smaller endpoint");
+                    assert_eq!(coloring.color(e.v), t2, "wrong colour of larger endpoint");
+                }
+                reassembled.extend(class);
+            }
+        }
+        reassembled.sort_unstable();
+        assert_eq!(reassembled, el.load_all());
+    }
+
+    #[test]
+    fn union_is_sorted_and_deduplicated() {
+        let (_m, _el, part, _col) = setup(3, 5);
+        let u = part.union_sorted(&[(0, 1), (1, 2), (0, 1), (0, 2)]).load_all();
+        assert!(u.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+        let expected = part.class_len(0, 1) + part.class_len(1, 2) + part.class_len(0, 2);
+        assert_eq!(u.len(), expected);
+    }
+
+    #[test]
+    fn x_statistic_matches_direct_computation() {
+        let (_m, el, part, coloring) = setup(4, 9);
+        let mut counts = std::collections::HashMap::new();
+        for e in el.load_all() {
+            *counts.entry((coloring.color(e.u), coloring.color(e.v))).or_insert(0u128) += 1;
+        }
+        let expected: u128 = counts.values().map(|&n| n * (n - 1) / 2).sum();
+        assert_eq!(part.x_statistic(), expected);
+    }
+
+    #[test]
+    fn single_color_partition_is_the_whole_edge_set() {
+        let (_m, el, part, _col) = setup(1, 2);
+        assert_eq!(part.class_len(0, 0), el.len());
+        let n = el.len() as u128;
+        assert_eq!(part.x_statistic(), n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Triangle sinks: the `emit(·,·,·)` procedure of the paper.
+//!
+//! The paper studies *enumeration*, not *listing*: every triangle must be
+//! reported through a call to `emit` at a moment when its three edges are in
+//! internal memory, but it need not be written to external memory. A
+//! [`TriangleSink`] is exactly that `emit` procedure; the built-in sinks
+//! count, checksum or collect the triangles, and tests use them to check the
+//! exactly-once guarantee against the in-memory oracle.
+
+use graphgen::Triangle;
+
+/// The consumer of emitted triangles.
+pub trait TriangleSink {
+    /// Called exactly once per triangle of the input graph.
+    fn emit(&mut self, t: Triangle);
+}
+
+/// Counts emitted triangles and folds them into an order-independent digest.
+///
+/// This is the recommended sink for experiments: it is `O(1)` memory, so it
+/// cannot distort the I/O accounting, and the digest still allows an
+/// exact set-equality check against [`graphgen::naive::triangle_checksum`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingSink {
+    count: u64,
+    digest: u64,
+}
+
+impl CountingSink {
+    /// Creates an empty counting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triangles emitted so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Order-independent digest (wrapping sum of per-triangle digests) of the
+    /// emitted set. Equal sets produce equal digests; duplicated emissions
+    /// change the digest.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The `(count, digest)` pair in the same format as
+    /// [`graphgen::naive::triangle_checksum`].
+    pub fn checksum(&self) -> (u64, u64) {
+        (self.count, self.digest)
+    }
+}
+
+impl TriangleSink for CountingSink {
+    fn emit(&mut self, t: Triangle) {
+        self.count += 1;
+        self.digest = self.digest.wrapping_add(t.digest());
+    }
+}
+
+/// Collects every emitted triangle in memory. Intended for tests and small
+/// examples — on large inputs it deliberately defeats the point of
+/// enumeration (the paper's distinction from listing), so experiments use
+/// [`CountingSink`] instead.
+#[derive(Debug, Default, Clone)]
+pub struct CollectingSink {
+    triangles: Vec<Triangle>,
+}
+
+impl CollectingSink {
+    /// Creates an empty collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The triangles collected so far, in emission order.
+    pub fn triangles(&self) -> &[Triangle] {
+        &self.triangles
+    }
+
+    /// Consumes the sink and returns the collected triangles.
+    pub fn into_triangles(self) -> Vec<Triangle> {
+        self.triangles
+    }
+
+    /// Number of triangles collected.
+    pub fn len(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+}
+
+impl TriangleSink for CollectingSink {
+    fn emit(&mut self, t: Triangle) {
+        self.triangles.push(t);
+    }
+}
+
+/// Adapts a closure into a sink.
+pub struct FnSink<F: FnMut(Triangle)>(pub F);
+
+impl<F: FnMut(Triangle)> TriangleSink for FnSink<F> {
+    fn emit(&mut self, t: Triangle) {
+        (self.0)(t)
+    }
+}
+
+/// A sink that panics on the first duplicate emission — used by the test
+/// suite to enforce the exactly-once contract.
+#[derive(Debug, Default)]
+pub struct StrictSink {
+    seen: std::collections::HashSet<Triangle>,
+}
+
+impl StrictSink {
+    /// Creates an empty strict sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The distinct triangles seen.
+    pub fn seen(&self) -> &std::collections::HashSet<Triangle> {
+        &self.seen
+    }
+
+    /// Number of distinct triangles seen.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+impl TriangleSink for StrictSink {
+    fn emit(&mut self, t: Triangle) {
+        assert!(self.seen.insert(t), "triangle {t:?} emitted more than once");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_matches_collecting_sink() {
+        let ts = [
+            Triangle::new(1, 2, 3),
+            Triangle::new(2, 3, 4),
+            Triangle::new(1, 3, 9),
+        ];
+        let mut c = CountingSink::new();
+        let mut v = CollectingSink::new();
+        for t in ts {
+            c.emit(t);
+            v.emit(t);
+        }
+        assert_eq!(c.count(), 3);
+        assert_eq!(v.len(), 3);
+        let expected: u64 = ts.iter().map(|t| t.digest()).fold(0, u64::wrapping_add);
+        assert_eq!(c.digest(), expected);
+    }
+
+    #[test]
+    fn digest_is_order_independent_but_multiset_sensitive() {
+        let a = Triangle::new(1, 2, 3);
+        let b = Triangle::new(4, 5, 6);
+        let mut s1 = CountingSink::new();
+        s1.emit(a);
+        s1.emit(b);
+        let mut s2 = CountingSink::new();
+        s2.emit(b);
+        s2.emit(a);
+        assert_eq!(s1.checksum(), s2.checksum());
+        let mut s3 = CountingSink::new();
+        s3.emit(a);
+        s3.emit(a);
+        assert_ne!(s1.checksum(), s3.checksum());
+    }
+
+    #[test]
+    fn fn_sink_forwards() {
+        let mut n = 0;
+        {
+            let mut s = FnSink(|_t| n += 1);
+            s.emit(Triangle::new(1, 2, 3));
+            s.emit(Triangle::new(1, 2, 4));
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "emitted more than once")]
+    fn strict_sink_rejects_duplicates() {
+        let mut s = StrictSink::new();
+        s.emit(Triangle::new(1, 2, 3));
+        s.emit(Triangle::new(1, 2, 3));
+    }
+}

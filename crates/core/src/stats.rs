@@ -1,0 +1,189 @@
+//! Run reports: what an algorithm run measured.
+
+use emsim::{EmConfig, IoStats};
+
+/// Everything measured during one triangle-enumeration run.
+///
+/// Produced by [`crate::enumerate_triangles`]; consumed by the tests (which
+/// assert the paper's bounds hold up to constants) and by the experiment
+/// harness (which prints the tables of EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Human-readable algorithm name.
+    pub algorithm: String,
+    /// Machine configuration the run used.
+    pub config: EmConfig,
+    /// Number of edges `E` of the (preprocessed) input graph.
+    pub edges: usize,
+    /// Number of vertices `V` of the input graph.
+    pub vertices: usize,
+    /// Number of triangles emitted.
+    pub triangles: u64,
+    /// Total block transfers of the run.
+    pub io: IoStats,
+    /// Per-phase block transfers, in execution order.
+    pub phases: Vec<(String, IoStats)>,
+    /// Peak in-core working-buffer usage (words) registered with the gauge.
+    pub peak_mem_words: u64,
+    /// Peak simulated-disk usage in words (validates `O(E)` space claims).
+    pub peak_disk_words: u64,
+    /// Coarse RAM-operation count (validates `O(E^{3/2})` work claims).
+    pub work_ops: u64,
+    /// Algorithm-specific extra metrics, e.g. the colour-balance statistic
+    /// `X_ξ` of the colouring-based algorithms or the number of recursive
+    /// subproblems of the cache-oblivious algorithm.
+    pub extra: Vec<(String, f64)>,
+}
+
+impl RunReport {
+    /// Measured I/Os divided by the paper's upper bound `E^{3/2}/(√M·B)`.
+    /// For the paper's algorithms this ratio should be bounded by a modest
+    /// constant across the whole parameter sweep.
+    pub fn normalized_to_triangle_bound(&self) -> f64 {
+        self.io.total() as f64 / self.config.triangle_bound(self.edges).max(1.0)
+    }
+
+    /// Measured I/Os divided by Hu–Tao–Chung's bound `E²/(M·B)`.
+    pub fn normalized_to_hu_bound(&self) -> f64 {
+        self.io.total() as f64 / self.config.hu_tao_chung_bound(self.edges).max(1.0)
+    }
+
+    /// Measured I/Os divided by the Theorem 3 lower bound for the number of
+    /// triangles this run emitted — the "optimality ratio". Values below a
+    /// small constant demonstrate Theorem 3 is tight for this input.
+    pub fn optimality_ratio(&self) -> f64 {
+        self.io.total() as f64 / self.config.lower_bound(self.triangles).max(1.0)
+    }
+
+    /// Measured work divided by `E^{3/2}` (the work-optimality reference).
+    pub fn work_ratio(&self) -> f64 {
+        self.work_ops as f64 / (self.edges as f64).powf(1.5).max(1.0)
+    }
+
+    /// The I/Os attributed to a named phase, if that phase was recorded.
+    pub fn phase_io(&self, name: &str) -> Option<IoStats> {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, io)| *io)
+    }
+
+    /// Looks up an algorithm-specific extra metric by name.
+    pub fn extra(&self, name: &str) -> Option<f64> {
+        self.extra.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: E={}, V={}, t={}, {}",
+            self.algorithm, self.edges, self.vertices, self.triangles, self.io
+        )?;
+        writeln!(
+            f,
+            "  M={} B={} | peak mem {} w | peak disk {} w | work {}",
+            self.config.mem_words,
+            self.config.block_words,
+            self.peak_mem_words,
+            self.peak_disk_words,
+            self.work_ops
+        )?;
+        for (name, io) in &self.phases {
+            writeln!(f, "  phase {name}: {io}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Helper used by the algorithm implementations to attribute I/Os to phases.
+#[derive(Debug, Default)]
+pub(crate) struct PhaseRecorder {
+    phases: Vec<(String, IoStats)>,
+}
+
+impl PhaseRecorder {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the I/Os between `before` and `after` belong to `name`.
+    pub(crate) fn record(&mut self, name: &str, before: IoStats, after: IoStats) {
+        self.phases.push((name.to_string(), after.since(before)));
+    }
+
+    pub(crate) fn into_phases(self) -> Vec<(String, IoStats)> {
+        self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_report() -> RunReport {
+        RunReport {
+            algorithm: "test".into(),
+            config: EmConfig::new(1 << 10, 64),
+            edges: 10_000,
+            vertices: 1_000,
+            triangles: 5_000,
+            io: IoStats {
+                reads: 700,
+                writes: 300,
+            },
+            phases: vec![(
+                "partition".into(),
+                IoStats {
+                    reads: 100,
+                    writes: 50,
+                },
+            )],
+            peak_mem_words: 900,
+            peak_disk_words: 20_000,
+            work_ops: 1_000_000,
+            extra: vec![("x_statistic".into(), 42.0)],
+        }
+    }
+
+    #[test]
+    fn ratios_are_finite_and_positive() {
+        let r = dummy_report();
+        assert!(r.normalized_to_triangle_bound() > 0.0);
+        assert!(r.normalized_to_hu_bound() > 0.0);
+        assert!(r.optimality_ratio() > 0.0);
+        assert!(r.work_ratio() > 0.0);
+    }
+
+    #[test]
+    fn phase_lookup() {
+        let r = dummy_report();
+        assert_eq!(r.phase_io("partition").unwrap().total(), 150);
+        assert!(r.phase_io("missing").is_none());
+    }
+
+    #[test]
+    fn extra_lookup() {
+        let r = dummy_report();
+        assert_eq!(r.extra("x_statistic"), Some(42.0));
+        assert_eq!(r.extra("nope"), None);
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let s = format!("{}", dummy_report());
+        assert!(s.contains("E=10000"));
+        assert!(s.contains("phase partition"));
+    }
+
+    #[test]
+    fn phase_recorder_attributes_deltas() {
+        let mut rec = PhaseRecorder::new();
+        let a = IoStats { reads: 10, writes: 5 };
+        let b = IoStats { reads: 30, writes: 9 };
+        rec.record("x", a, b);
+        let phases = rec.into_phases();
+        assert_eq!(phases[0].1, IoStats { reads: 20, writes: 4 });
+    }
+}

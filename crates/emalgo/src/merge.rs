@@ -1,0 +1,157 @@
+//! Scanning utilities: merging, filtering, deduplication.
+
+use emsim::{ExtVec, Record};
+
+/// Merges two arrays that are already sorted by `key` into a new sorted
+/// array, in a single simultaneous scan (`O((|a|+|b|)/B)` I/Os).
+pub fn merge_sorted<T, K, F>(a: &ExtVec<T>, b: &ExtVec<T>, key: F) -> ExtVec<T>
+where
+    T: Record,
+    K: Ord + Copy,
+    F: Fn(&T) -> K,
+{
+    let machine = a.machine().clone();
+    let mut out: ExtVec<T> = ExtVec::new(&machine);
+    let mut ia = a.iter().peekable();
+    let mut ib = b.iter().peekable();
+    loop {
+        machine.work(1);
+        match (ia.peek().copied(), ib.peek().copied()) {
+            (Some(x), Some(y)) => {
+                if key(&x) <= key(&y) {
+                    out.push(x);
+                    ia.next();
+                } else {
+                    out.push(y);
+                    ib.next();
+                }
+            }
+            (Some(x), None) => {
+                out.push(x);
+                ia.next();
+            }
+            (None, Some(y)) => {
+                out.push(y);
+                ib.next();
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// Scans `input` and writes the elements satisfying `keep` to a new array
+/// (`O(n/B)` I/Os plus the output volume).
+pub fn scan_filter<T, F>(input: &ExtVec<T>, mut keep: F) -> ExtVec<T>
+where
+    T: Record,
+    F: FnMut(&T) -> bool,
+{
+    let machine = input.machine().clone();
+    let mut out: ExtVec<T> = ExtVec::new(&machine);
+    for x in input.iter() {
+        machine.work(1);
+        if keep(&x) {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// Checks in one scan whether `input` is sorted (non-decreasing) by `key`.
+pub fn is_sorted_by_key<T, K, F>(input: &ExtVec<T>, key: F) -> bool
+where
+    T: Record,
+    K: Ord + Copy,
+    F: Fn(&T) -> K,
+{
+    let mut prev: Option<K> = None;
+    for x in input.iter() {
+        let k = key(&x);
+        if let Some(p) = prev {
+            if k < p {
+                return false;
+            }
+        }
+        prev = Some(k);
+    }
+    true
+}
+
+/// Removes adjacent duplicates (by `key`) from a sorted array in one scan,
+/// returning the deduplicated array.
+pub fn dedup_sorted<T, K, F>(input: &ExtVec<T>, key: F) -> ExtVec<T>
+where
+    T: Record,
+    K: Ord + Copy + PartialEq,
+    F: Fn(&T) -> K,
+{
+    let machine = input.machine().clone();
+    let mut out: ExtVec<T> = ExtVec::new(&machine);
+    let mut prev: Option<K> = None;
+    for x in input.iter() {
+        machine.work(1);
+        let k = key(&x);
+        if prev != Some(k) {
+            out.push(x);
+            prev = Some(k);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsim::{EmConfig, Machine};
+
+    fn m() -> Machine {
+        Machine::new(EmConfig::new(256, 64))
+    }
+
+    #[test]
+    fn merge_interleaves_correctly() {
+        let machine = m();
+        let a = ExtVec::from_slice(&machine, &[1u64, 3, 5, 7]);
+        let b = ExtVec::from_slice(&machine, &[2u64, 2, 6, 8, 10]);
+        let out = merge_sorted(&a, &b, |x| *x).load_all();
+        assert_eq!(out, vec![1, 2, 2, 3, 5, 6, 7, 8, 10]);
+    }
+
+    #[test]
+    fn merge_with_empty_side() {
+        let machine = m();
+        let a = ExtVec::from_slice(&machine, &[1u64, 2]);
+        let b: ExtVec<u64> = ExtVec::new(&machine);
+        assert_eq!(merge_sorted(&a, &b, |x| *x).load_all(), vec![1, 2]);
+        assert_eq!(merge_sorted(&b, &a, |x| *x).load_all(), vec![1, 2]);
+    }
+
+    #[test]
+    fn filter_keeps_matching_elements_in_order() {
+        let machine = m();
+        let v = ExtVec::from_slice(&machine, &(0..100u64).collect::<Vec<_>>());
+        let evens = scan_filter(&v, |x| x % 2 == 0).load_all();
+        assert_eq!(evens.len(), 50);
+        assert!(evens.iter().all(|x| x % 2 == 0));
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sortedness_check() {
+        let machine = m();
+        let sorted = ExtVec::from_slice(&machine, &[1u64, 1, 2, 9]);
+        let unsorted = ExtVec::from_slice(&machine, &[1u64, 3, 2]);
+        assert!(is_sorted_by_key(&sorted, |x| *x));
+        assert!(!is_sorted_by_key(&unsorted, |x| *x));
+        let empty: ExtVec<u64> = ExtVec::new(&machine);
+        assert!(is_sorted_by_key(&empty, |x| *x));
+    }
+
+    #[test]
+    fn dedup_removes_adjacent_duplicates() {
+        let machine = m();
+        let v = ExtVec::from_slice(&machine, &[1u64, 1, 1, 2, 3, 3, 9]);
+        assert_eq!(dedup_sorted(&v, |x| *x).load_all(), vec![1, 2, 3, 9]);
+    }
+}

@@ -1,0 +1,309 @@
+//! The LRU block cache that models the internal memory.
+//!
+//! The cache does **not** hold block payloads: the backing store in the
+//! simulator is ordinary host RAM, so there is nothing to copy. What the
+//! cache tracks is *which* blocks are resident and *which are dirty*, so that
+//! cache misses and dirty evictions can be charged as read and write I/Os —
+//! precisely the quantities the external-memory model counts.
+
+use std::collections::HashMap;
+
+/// Key identifying a block: `(segment id, block index within the segment)`.
+pub(crate) type BlockKey = u64;
+
+pub(crate) fn block_key(segment: u32, block: u64) -> BlockKey {
+    ((segment as u64) << 40) | block
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+struct Node {
+    key: BlockKey,
+    dirty: bool,
+    prev: u32,
+    next: u32,
+}
+
+/// Outcome of touching a block through the cache.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Touch {
+    /// The access missed and a block had to be fetched (1 read I/O).
+    pub miss: bool,
+    /// A dirty block had to be written back to make room (1 write I/O).
+    pub writeback: bool,
+}
+
+/// A fixed-capacity LRU set of block keys with dirty tracking.
+pub(crate) struct LruCache {
+    capacity: usize,
+    map: HashMap<BlockKey, u32>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    // Fast path: the most recently touched key and its node index.
+    last_key: BlockKey,
+    last_node: u32,
+}
+
+impl LruCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity * 2),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            last_key: u64::MAX,
+            last_node: NIL,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Touch `key`, marking it dirty if `write`. Returns whether this was a
+    /// miss and whether a dirty block was evicted to make room.
+    pub(crate) fn touch(&mut self, key: BlockKey, write: bool) -> Touch {
+        // Fast path: repeated access to the same block (the common case for
+        // sequential scans) skips the hash lookup entirely.
+        if key == self.last_key && self.last_node != NIL {
+            let idx = self.last_node;
+            if write {
+                self.nodes[idx as usize].dirty = true;
+            }
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return Touch::default();
+        }
+
+        if let Some(&idx) = self.map.get(&key) {
+            if write {
+                self.nodes[idx as usize].dirty = true;
+            }
+            self.unlink(idx);
+            self.push_front(idx);
+            self.last_key = key;
+            self.last_node = idx;
+            return Touch::default();
+        }
+
+        // Miss: evict if full, then insert.
+        let mut touch = Touch {
+            miss: true,
+            writeback: false,
+        };
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            let vnode = self.nodes[victim as usize];
+            if vnode.dirty {
+                touch.writeback = true;
+            }
+            self.unlink(victim);
+            self.map.remove(&vnode.key);
+            self.free.push(victim);
+            if self.last_node == victim {
+                self.last_node = NIL;
+                self.last_key = u64::MAX;
+            }
+        }
+        let idx = if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = Node {
+                key,
+                dirty: write,
+                prev: NIL,
+                next: NIL,
+            };
+            i
+        } else {
+            self.nodes.push(Node {
+                key,
+                dirty: write,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.nodes.len() - 1) as u32
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        self.last_key = key;
+        self.last_node = idx;
+        touch
+    }
+
+    /// Drop a block from the cache without charging I/O. Used when the
+    /// segment owning the block is freed (its contents are dead, so writing
+    /// them back would be meaningless work the model does not require).
+    pub(crate) fn discard(&mut self, key: BlockKey) {
+        if let Some(idx) = self.map.remove(&key) {
+            self.unlink(idx);
+            self.free.push(idx);
+            if self.last_node == idx {
+                self.last_node = NIL;
+                self.last_key = u64::MAX;
+            }
+        }
+    }
+
+    /// Write back every dirty resident block, returning how many writes that
+    /// cost, and mark them clean. (Blocks stay resident.)
+    pub(crate) fn flush(&mut self) -> u64 {
+        let resident: Vec<u32> = self.map.values().copied().collect();
+        let mut writes = 0;
+        for idx in resident {
+            let node = &mut self.nodes[idx as usize];
+            if node.dirty {
+                node.dirty = false;
+                writes += 1;
+            }
+        }
+        writes
+    }
+
+    /// Evict everything (counting dirty write-backs) — used when a run wants
+    /// to start from a cold cache.
+    pub(crate) fn clear(&mut self) -> u64 {
+        let writes = self
+            .map
+            .values()
+            .filter(|&&idx| self.nodes[idx as usize].dirty)
+            .count() as u64;
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.last_key = u64::MAX;
+        self.last_node = NIL;
+        writes
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut c = LruCache::new(2);
+        assert!(c.touch(block_key(0, 0), false).miss);
+        assert!(c.touch(block_key(0, 1), false).miss);
+        assert!(!c.touch(block_key(0, 0), false).miss);
+        // Capacity 2: touching a third block evicts the LRU (block 1).
+        let t = c.touch(block_key(0, 2), false);
+        assert!(t.miss);
+        assert!(!t.writeback);
+        assert!(c.touch(block_key(0, 1), false).miss);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = LruCache::new(1);
+        c.touch(block_key(0, 0), true);
+        let t = c.touch(block_key(0, 1), false);
+        assert!(t.miss && t.writeback);
+        // A clean block evicts silently.
+        let t2 = c.touch(block_key(0, 2), false);
+        assert!(t2.miss && !t2.writeback);
+    }
+
+    #[test]
+    fn lru_order_is_respected() {
+        let mut c = LruCache::new(3);
+        for b in 0..3 {
+            c.touch(block_key(0, b), false);
+        }
+        // Touch 0 to refresh it; inserting 3 must evict 1 (the oldest).
+        c.touch(block_key(0, 0), false);
+        c.touch(block_key(0, 3), false);
+        assert!(!c.touch(block_key(0, 0), false).miss);
+        assert!(!c.touch(block_key(0, 2), false).miss);
+        assert!(c.touch(block_key(0, 1), false).miss);
+    }
+
+    #[test]
+    fn discard_forgets_without_io() {
+        let mut c = LruCache::new(2);
+        c.touch(block_key(1, 0), true);
+        c.discard(block_key(1, 0));
+        assert_eq!(c.len(), 1.min(c.capacity()) - 1);
+        // Re-touching it is a miss again but no writeback ever happened.
+        assert!(c.touch(block_key(1, 0), false).miss);
+    }
+
+    #[test]
+    fn flush_writes_each_dirty_block_once() {
+        let mut c = LruCache::new(4);
+        c.touch(block_key(0, 0), true);
+        c.touch(block_key(0, 1), true);
+        c.touch(block_key(0, 2), false);
+        assert_eq!(c.flush(), 2);
+        assert_eq!(c.flush(), 0);
+    }
+
+    #[test]
+    fn clear_reports_dirty_blocks() {
+        let mut c = LruCache::new(4);
+        c.touch(block_key(0, 0), true);
+        c.touch(block_key(0, 1), false);
+        assert_eq!(c.clear(), 1);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn same_block_fast_path_marks_dirty() {
+        let mut c = LruCache::new(2);
+        c.touch(block_key(0, 7), false);
+        // Fast-path write must still mark the block dirty.
+        c.touch(block_key(0, 7), true);
+        let t = c.touch(block_key(0, 8), false);
+        assert!(t.miss);
+        let t = c.touch(block_key(0, 9), false);
+        // Eviction of block 7 must be a writeback.
+        assert!(t.miss && t.writeback);
+    }
+}

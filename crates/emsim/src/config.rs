@@ -1,0 +1,147 @@
+//! Configuration of the simulated external-memory machine.
+
+/// Parameters of the external-memory machine: the internal-memory capacity
+/// `M` and the block size `B`, both in machine words.
+///
+/// The paper's standing assumptions are `E ≥ M` (the input does not fit in
+/// memory — otherwise the problem is trivial in the I/O model) and the *tall
+/// cache* assumption `M = Ω(B²)`. [`EmConfig::is_tall_cache`] reports whether
+/// the latter holds for a given configuration; the experiment harness only
+/// uses tall-cache configurations, mirroring the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EmConfig {
+    /// Internal memory size `M`, in words.
+    pub mem_words: usize,
+    /// Block size `B`, in words.
+    pub block_words: usize,
+}
+
+impl EmConfig {
+    /// Creates a new configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_words` is zero or `mem_words < block_words`
+    /// (the internal memory must hold at least one block).
+    pub fn new(mem_words: usize, block_words: usize) -> Self {
+        assert!(block_words > 0, "block size must be positive");
+        assert!(
+            mem_words >= block_words,
+            "internal memory must hold at least one block (M={mem_words}, B={block_words})"
+        );
+        Self {
+            mem_words,
+            block_words,
+        }
+    }
+
+    /// The number of block frames the internal memory can hold (`M / B`).
+    pub fn frames(&self) -> usize {
+        (self.mem_words / self.block_words).max(1)
+    }
+
+    /// Whether the tall-cache assumption `M ≥ B²` holds.
+    pub fn is_tall_cache(&self) -> bool {
+        self.mem_words >= self.block_words * self.block_words
+    }
+
+    /// The I/O cost of scanning `n` words: `⌈n / B⌉`.
+    pub fn scan_cost(&self, n_words: usize) -> u64 {
+        (n_words.div_ceil(self.block_words)) as u64
+    }
+
+    /// The textbook `sort(n)` bound in this configuration:
+    /// `(n/B) · (1 + ⌈log_{M/B}(n/B)⌉)`, in block transfers.
+    ///
+    /// Used by tests and the experiment harness as the analytical reference
+    /// curve for sorting-based phases.
+    pub fn sort_cost(&self, n_words: usize) -> u64 {
+        if n_words == 0 {
+            return 0;
+        }
+        let blocks = n_words.div_ceil(self.block_words) as f64;
+        let fanout = (self.frames().max(2)) as f64;
+        let passes = 1.0 + (blocks.ln() / fanout.ln()).max(0.0).ceil();
+        (blocks * passes).ceil() as u64
+    }
+
+    /// Analytic I/O bound of the paper's main result (Theorems 1, 2, 4):
+    /// `E^{3/2} / (√M · B)` for an input of `e` edges, in block transfers.
+    pub fn triangle_bound(&self, e: usize) -> f64 {
+        let e = e as f64;
+        e.powf(1.5) / ((self.mem_words as f64).sqrt() * self.block_words as f64)
+    }
+
+    /// Analytic I/O bound of Hu–Tao–Chung (SIGMOD 2013): `E² / (M·B)`.
+    pub fn hu_tao_chung_bound(&self, e: usize) -> f64 {
+        let e = e as f64;
+        e * e / (self.mem_words as f64 * self.block_words as f64)
+    }
+
+    /// Analytic lower bound of Theorem 3 for enumerating `t` triangles:
+    /// `t / (√M·B) + t^{2/3} / B`.
+    pub fn lower_bound(&self, t: u64) -> f64 {
+        let t = t as f64;
+        t / ((self.mem_words as f64).sqrt() * self.block_words as f64)
+            + t.powf(2.0 / 3.0) / self.block_words as f64
+    }
+}
+
+impl Default for EmConfig {
+    /// A small laptop-scale default: `M = 2^16` words, `B = 256` words.
+    fn default() -> Self {
+        Self::new(1 << 16, 256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_and_tall_cache() {
+        let c = EmConfig::new(1 << 16, 256);
+        assert_eq!(c.frames(), 256);
+        assert!(c.is_tall_cache());
+        let c2 = EmConfig::new(1 << 10, 256);
+        assert_eq!(c2.frames(), 4);
+        assert!(!c2.is_tall_cache());
+    }
+
+    #[test]
+    fn scan_cost_rounds_up() {
+        let c = EmConfig::new(1024, 64);
+        assert_eq!(c.scan_cost(0), 0);
+        assert_eq!(c.scan_cost(1), 1);
+        assert_eq!(c.scan_cost(64), 1);
+        assert_eq!(c.scan_cost(65), 2);
+    }
+
+    #[test]
+    fn sort_cost_monotone() {
+        let c = EmConfig::default();
+        assert!(c.sort_cost(1 << 20) > c.sort_cost(1 << 16));
+        assert_eq!(c.sort_cost(0), 0);
+    }
+
+    #[test]
+    fn analytic_bounds_positive_and_ordered() {
+        let c = EmConfig::new(1 << 14, 128);
+        let e = 1 << 20;
+        // For E >> M the paper's bound beats Hu et al. by sqrt(E/M).
+        assert!(c.triangle_bound(e) < c.hu_tao_chung_bound(e));
+        assert!(c.lower_bound(1_000_000) > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_block_rejected() {
+        let _ = EmConfig::new(1024, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn memory_smaller_than_block_rejected() {
+        let _ = EmConfig::new(16, 64);
+    }
+}

@@ -1,0 +1,323 @@
+//! The simulated external-memory machine.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::cache::{block_key, LruCache};
+use crate::config::EmConfig;
+use crate::gauge::MemGauge;
+use crate::stats::{IoStats, RunStats};
+
+struct Segment {
+    words: Vec<u64>,
+    live: bool,
+}
+
+struct MachineInner {
+    config: EmConfig,
+    segments: Vec<Segment>,
+    free_segments: Vec<u32>,
+    cache: LruCache,
+    io: IoStats,
+    disk_words: u64,
+    peak_disk_words: u64,
+    work: u64,
+}
+
+/// A cheap, clonable handle to a simulated external-memory machine.
+///
+/// The machine owns the disk (a set of independently growable *segments*, one
+/// per [`crate::ExtVec`]), the LRU block cache standing in for the internal
+/// memory, the I/O counters and a [`MemGauge`] for in-core working buffers.
+///
+/// Cloning a `Machine` clones the handle, not the machine: all clones share
+/// the same disk, cache and counters. The simulator is single-threaded by
+/// design (the I/O model is sequential), so a `Rc<RefCell<…>>` is the
+/// appropriate sharing primitive.
+#[derive(Clone)]
+pub struct Machine {
+    inner: Rc<RefCell<MachineInner>>,
+    gauge: MemGauge,
+    config: EmConfig,
+}
+
+impl Machine {
+    /// Creates a machine with the given memory/block configuration and a cold
+    /// cache.
+    pub fn new(config: EmConfig) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(MachineInner {
+                config,
+                segments: Vec::new(),
+                free_segments: Vec::new(),
+                cache: LruCache::new(config.frames()),
+                io: IoStats::default(),
+                disk_words: 0,
+                peak_disk_words: 0,
+                work: 0,
+            })),
+            gauge: MemGauge::new(),
+            config,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> EmConfig {
+        self.config
+    }
+
+    /// The gauge tracking in-core working-buffer usage.
+    pub fn gauge(&self) -> &MemGauge {
+        &self.gauge
+    }
+
+    /// Adds `n` units to the coarse RAM-operation counter.
+    pub fn work(&self, n: u64) {
+        self.inner.borrow_mut().work += n;
+    }
+
+    /// Snapshot of every counter.
+    pub fn stats(&self) -> RunStats {
+        let inner = self.inner.borrow();
+        RunStats {
+            io: inner.io,
+            disk_words: inner.disk_words,
+            peak_disk_words: inner.peak_disk_words,
+            mem_words_in_use: self.gauge.in_use(),
+            peak_mem_words: self.gauge.peak(),
+            work_ops: inner.work,
+        }
+    }
+
+    /// Just the I/O counters.
+    pub fn io(&self) -> IoStats {
+        self.inner.borrow().io
+    }
+
+    /// Evicts the entire cache (charging write I/Os for dirty blocks), so
+    /// that a subsequent measurement starts cold. Returns the number of
+    /// write-backs charged.
+    pub fn cold_cache(&self) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let writes = inner.cache.clear();
+        inner.io.writes += writes;
+        writes
+    }
+
+    /// Flushes dirty cached blocks to disk (charging write I/Os) without
+    /// evicting them.
+    pub fn flush(&self) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let writes = inner.cache.flush();
+        inner.io.writes += writes;
+        writes
+    }
+
+    /// Number of block frames in the simulated internal memory (`M / B`).
+    pub fn frames(&self) -> usize {
+        self.config.frames()
+    }
+
+    // ------------------------------------------------------------------
+    // Segment management (used by ExtVec).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn new_segment(&self) -> u32 {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(id) = inner.free_segments.pop() {
+            inner.segments[id as usize] = Segment {
+                words: Vec::new(),
+                live: true,
+            };
+            id
+        } else {
+            inner.segments.push(Segment {
+                words: Vec::new(),
+                live: true,
+            });
+            (inner.segments.len() - 1) as u32
+        }
+    }
+
+    pub(crate) fn free_segment(&self, seg: u32) {
+        let mut inner = self.inner.borrow_mut();
+        let block_words = inner.config.block_words as u64;
+        let seg_words;
+        {
+            let s = &mut inner.segments[seg as usize];
+            if !s.live {
+                return;
+            }
+            s.live = false;
+            seg_words = s.words.len() as u64;
+            s.words = Vec::new();
+        }
+        inner.disk_words -= seg_words;
+        // Forget the dead blocks so their eviction is never charged.
+        let nblocks = seg_words.div_ceil(block_words);
+        for b in 0..nblocks {
+            inner.cache.discard(block_key(seg, b));
+        }
+        inner.free_segments.push(seg);
+    }
+
+    /// Reads the word at `idx` of segment `seg`, charging a read I/O if the
+    /// containing block is not cached.
+    pub(crate) fn read_word(&self, seg: u32, idx: usize) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let block = (idx / inner.config.block_words) as u64;
+        let touch = inner.cache.touch(block_key(seg, block), false);
+        if touch.miss {
+            inner.io.reads += 1;
+        }
+        if touch.writeback {
+            inner.io.writes += 1;
+        }
+        inner.segments[seg as usize].words[idx]
+    }
+
+    /// Writes `value` at `idx` of segment `seg` (which must be `≤ len`,
+    /// appending when equal), charging I/Os for cache misses and dirty
+    /// evictions.
+    pub(crate) fn write_word(&self, seg: u32, idx: usize, value: u64) {
+        let mut inner = self.inner.borrow_mut();
+        let block = (idx / inner.config.block_words) as u64;
+        let touch = inner.cache.touch(block_key(seg, block), true);
+        // Appending a word to a fresh block does not require reading the
+        // block from disk first (the model writes whole blocks); but writing
+        // into the middle of an uncached block does (read-modify-write).
+        if touch.miss {
+            let segment = &inner.segments[seg as usize];
+            let block_start = (block as usize) * inner.config.block_words;
+            let fresh_append = idx == segment.words.len() && idx == block_start;
+            if !fresh_append {
+                inner.io.reads += 1;
+            }
+        }
+        if touch.writeback {
+            inner.io.writes += 1;
+        }
+        let appended;
+        {
+            let segment = &mut inner.segments[seg as usize];
+            match idx.cmp(&segment.words.len()) {
+                std::cmp::Ordering::Less => {
+                    segment.words[idx] = value;
+                    appended = false;
+                }
+                std::cmp::Ordering::Equal => {
+                    segment.words.push(value);
+                    appended = true;
+                }
+                std::cmp::Ordering::Greater => {
+                    panic!("write past end of segment: idx {idx}, len {}", segment.words.len())
+                }
+            }
+        }
+        if appended {
+            inner.disk_words += 1;
+            if inner.disk_words > inner.peak_disk_words {
+                inner.peak_disk_words = inner.disk_words;
+            }
+        }
+    }
+
+    pub(crate) fn truncate_segment(&self, seg: u32, new_words: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let old = inner.segments[seg as usize].words.len();
+        if new_words < old {
+            inner.segments[seg as usize].words.truncate(new_words);
+            inner.disk_words -= (old - new_words) as u64;
+        }
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("Machine")
+            .field("config", &self.config)
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_only_writes_do_not_charge_reads() {
+        let m = Machine::new(EmConfig::new(1024, 64));
+        let seg = m.new_segment();
+        for i in 0..640usize {
+            m.write_word(seg, i, i as u64);
+        }
+        let io = m.io();
+        assert_eq!(io.reads, 0, "pure appends never read blocks");
+        // 640 words = 10 blocks; with 16 frames nothing is evicted yet.
+        assert_eq!(io.writes, 0);
+        m.flush();
+        assert_eq!(m.io().writes, 10);
+    }
+
+    #[test]
+    fn overwrites_of_cold_blocks_are_read_modify_write() {
+        let m = Machine::new(EmConfig::new(128, 64)); // 2 frames only
+        let seg = m.new_segment();
+        for i in 0..64 * 4usize {
+            m.write_word(seg, i, 0);
+        }
+        // The first blocks have been evicted (dirty) by now.
+        let before = m.io();
+        m.write_word(seg, 0, 7);
+        let after = m.io();
+        assert_eq!(after.reads - before.reads, 1);
+        assert_eq!(m.read_word(seg, 0), 7);
+    }
+
+    #[test]
+    fn eviction_of_dirty_blocks_counts_writes() {
+        let m = Machine::new(EmConfig::new(128, 64)); // 2 frames
+        let seg = m.new_segment();
+        for i in 0..64 * 8usize {
+            m.write_word(seg, i, i as u64);
+        }
+        // 8 blocks written with 2 frames: at least 6 dirty evictions.
+        assert!(m.io().writes >= 6);
+    }
+
+    #[test]
+    fn freeing_a_segment_releases_disk_words_without_io() {
+        let m = Machine::new(EmConfig::new(1024, 64));
+        let seg = m.new_segment();
+        for i in 0..1000usize {
+            m.write_word(seg, i, 1);
+        }
+        let io_before = m.io();
+        assert_eq!(m.stats().disk_words, 1000);
+        m.free_segment(seg);
+        assert_eq!(m.stats().disk_words, 0);
+        assert_eq!(m.stats().peak_disk_words, 1000);
+        assert_eq!(m.io(), io_before, "freeing dead data is not an I/O");
+        // Segment ids are recycled.
+        let seg2 = m.new_segment();
+        assert_eq!(seg2, seg);
+    }
+
+    #[test]
+    fn work_counter_accumulates() {
+        let m = Machine::new(EmConfig::default());
+        m.work(10);
+        m.work(5);
+        assert_eq!(m.stats().work_ops, 15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn write_past_end_panics() {
+        let m = Machine::new(EmConfig::default());
+        let seg = m.new_segment();
+        m.write_word(seg, 5, 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! I/O, space and work accounting.
+
+/// Counters of block transfers performed by the simulated machine.
+///
+/// In the external-memory model the cost of an algorithm is exactly
+/// `reads + writes`. We keep the two directions separate because the paper's
+/// *enumeration* (as opposed to *listing*) setting is precisely about not
+/// paying writes for the output, so it is useful to see that the write volume
+/// of the enumeration algorithms stays `O(E)`-ish rather than `Ω(t)`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of blocks transferred from disk to memory (cache misses).
+    pub reads: u64,
+    /// Number of blocks transferred from memory to disk (dirty evictions and flushes).
+    pub writes: u64,
+}
+
+impl IoStats {
+    /// Total number of block transfers.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Component-wise difference `self - earlier`; used to attribute I/Os to
+    /// phases of an algorithm.
+    pub fn since(&self, earlier: IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+        }
+    }
+}
+
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+        }
+    }
+}
+
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+    }
+}
+
+impl std::fmt::Display for IoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} I/Os ({} reads, {} writes)",
+            self.total(),
+            self.reads,
+            self.writes
+        )
+    }
+}
+
+/// A full snapshot of the machine's accounting state.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Block-transfer counters.
+    pub io: IoStats,
+    /// Number of words currently allocated on the simulated disk.
+    pub disk_words: u64,
+    /// Peak number of words simultaneously allocated on the simulated disk
+    /// (validates the paper's `O(E)` words-on-disk claims).
+    pub peak_disk_words: u64,
+    /// Current in-core working-buffer usage registered with the [`crate::MemGauge`], in words.
+    pub mem_words_in_use: u64,
+    /// Peak in-core working-buffer usage, in words.
+    pub peak_mem_words: u64,
+    /// Coarse RAM-operation counter incremented by algorithms
+    /// (validates the `O(E^{3/2})` work-optimality remark).
+    pub work_ops: u64,
+}
+
+impl RunStats {
+    /// Component-wise difference, for attributing costs to phases.
+    pub fn since(&self, earlier: &RunStats) -> RunStats {
+        RunStats {
+            io: self.io.since(earlier.io),
+            disk_words: self.disk_words,
+            peak_disk_words: self.peak_disk_words,
+            mem_words_in_use: self.mem_words_in_use,
+            peak_mem_words: self.peak_mem_words,
+            work_ops: self.work_ops - earlier.work_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_difference() {
+        let a = IoStats {
+            reads: 10,
+            writes: 4,
+        };
+        let b = IoStats {
+            reads: 25,
+            writes: 9,
+        };
+        assert_eq!(a.total(), 14);
+        assert_eq!(b.since(a), IoStats { reads: 15, writes: 5 });
+        assert_eq!((a + b).total(), 48);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.total(), 48);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let a = IoStats { reads: 3, writes: 2 };
+        assert_eq!(format!("{a}"), "5 I/Os (3 reads, 2 writes)");
+    }
+
+    #[test]
+    fn run_stats_since_subtracts_work() {
+        let early = RunStats {
+            work_ops: 100,
+            ..Default::default()
+        };
+        let late = RunStats {
+            work_ops: 350,
+            ..Default::default()
+        };
+        assert_eq!(late.since(&early).work_ops, 250);
+    }
+}

@@ -1,0 +1,374 @@
+//! Synthetic graph generators used by the tests, examples and experiments.
+//!
+//! Each generator is deterministic in its `seed`, so every experiment in
+//! EXPERIMENTS.md is exactly reproducible.
+
+use rand::prelude::*;
+use std::collections::HashSet;
+
+use crate::{Edge, Graph};
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct edges drawn uniformly at random among
+/// `n` vertices.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of possible edges `n(n−1)/2`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    let possible = n * n.saturating_sub(1) / 2;
+    assert!(m <= possible, "cannot place {m} edges among {n} vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set: HashSet<Edge> = HashSet::with_capacity(m * 2);
+    // Dense case: sample by shuffling all pairs to avoid rejection stalls.
+    if possible <= 4 * m && possible <= 2_000_000 {
+        let mut all: Vec<Edge> = Vec::with_capacity(possible);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                all.push(Edge::new(u, v));
+            }
+        }
+        all.shuffle(&mut rng);
+        all.truncate(m);
+        return Graph::from_edges(n, all);
+    }
+    while set.len() < m {
+        let a = rng.random_range(0..n as u32);
+        let b = rng.random_range(0..n as u32);
+        if a != b {
+            set.insert(Edge::new(a, b));
+        }
+    }
+    Graph::from_edges(n, set)
+}
+
+/// The complete graph on `n` vertices: `E = n(n−1)/2` edges and
+/// `t = C(n,3) = Θ(E^{3/2})` triangles — the paper's worst case, used to
+/// exercise the lower bound (Theorem 3) at its binding point.
+pub fn clique(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push(Edge::new(u, v));
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// A disjoint union of `k` cliques of `size` vertices each — many triangles
+/// but bounded degree, a useful contrast to the single clique.
+pub fn clique_union(k: usize, size: usize) -> Graph {
+    let mut edges = Vec::new();
+    for c in 0..k {
+        let base = (c * size) as u32;
+        for u in 0..size as u32 {
+            for v in (u + 1)..size as u32 {
+                edges.push(Edge::new(base + u, base + v));
+            }
+        }
+    }
+    Graph::from_edges(k * size, edges)
+}
+
+/// A random tripartite graph with parts of sizes `na`, `nb`, `nc` and edge
+/// probability `p` between every pair of parts. Triangles correspond
+/// one-to-one to joinable triples — the abstract version of the paper's
+/// database example.
+pub fn tripartite(na: usize, nb: usize, nc: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a0 = 0u32;
+    let b0 = na as u32;
+    let c0 = (na + nb) as u32;
+    let mut edges = Vec::new();
+    for i in 0..na as u32 {
+        for j in 0..nb as u32 {
+            if rng.random_bool(p) {
+                edges.push(Edge::new(a0 + i, b0 + j));
+            }
+        }
+    }
+    for j in 0..nb as u32 {
+        for k in 0..nc as u32 {
+            if rng.random_bool(p) {
+                edges.push(Edge::new(b0 + j, c0 + k));
+            }
+        }
+    }
+    for i in 0..na as u32 {
+        for k in 0..nc as u32 {
+            if rng.random_bool(p) {
+                edges.push(Edge::new(a0 + i, c0 + k));
+            }
+        }
+    }
+    Graph::from_edges(na + nb + nc, edges)
+}
+
+/// The paper's motivating database scenario, §1: a `Sells(salesperson,
+/// brand, productType)` relation in 5th normal form, decomposed into three
+/// two-attribute tables. Each of the `groups` draws a random set of
+/// salespeople `S`, brands `B` and product types `T` and every pair in
+/// `S×B ∪ B×T ∪ S×T` becomes an edge; the triangles of the union are exactly
+/// the rows of the reconstructed three-way join.
+///
+/// Returns the graph together with the vertex-id offsets of the brand and
+/// product-type columns, so examples can decode emitted triangles back into
+/// `(salesperson, brand, productType)` rows.
+pub fn sells_join(
+    salespeople: usize,
+    brands: usize,
+    product_types: usize,
+    groups: usize,
+    group_size: usize,
+    seed: u64,
+) -> (Graph, u32, u32) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let brand_base = salespeople as u32;
+    let type_base = (salespeople + brands) as u32;
+    let mut edges: HashSet<Edge> = HashSet::new();
+    for _ in 0..groups {
+        let pick = |rng: &mut StdRng, n: usize, base: u32, k: usize| -> Vec<u32> {
+            let mut chosen = HashSet::new();
+            let k = k.min(n);
+            while chosen.len() < k {
+                chosen.insert(base + rng.random_range(0..n as u32));
+            }
+            chosen.into_iter().collect()
+        };
+        let s = pick(&mut rng, salespeople, 0, group_size);
+        let b = pick(&mut rng, brands, brand_base, group_size);
+        let t = pick(&mut rng, product_types, type_base, group_size);
+        for &x in &s {
+            for &y in &b {
+                edges.insert(Edge::new(x, y));
+            }
+        }
+        for &y in &b {
+            for &z in &t {
+                edges.insert(Edge::new(y, z));
+            }
+        }
+        for &x in &s {
+            for &z in &t {
+                edges.insert(Edge::new(x, z));
+            }
+        }
+    }
+    (
+        Graph::from_edges(salespeople + brands + product_types, edges),
+        brand_base,
+        type_base,
+    )
+}
+
+/// A Chung–Lu random graph with a power-law expected degree sequence of
+/// exponent `gamma` and roughly `m` edges — a stand-in for the social
+/// networks the paper's introduction cites as a motivating application.
+pub fn chung_lu_power_law(n: usize, m: usize, gamma: f64, seed: u64) -> Graph {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Expected-degree weights w_i ∝ (i+1)^{-1/(gamma-1)}.
+    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-1.0 / (gamma - 1.0))).collect();
+    let total: f64 = weights.iter().sum();
+    // Cumulative distribution for weighted vertex sampling.
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let sample = |rng: &mut StdRng| -> u32 {
+        let x: f64 = rng.random();
+        match cdf.binary_search_by(|p| p.partial_cmp(&x).unwrap()) {
+            Ok(i) | Err(i) => (i.min(n - 1)) as u32,
+        }
+    };
+    let mut set: HashSet<Edge> = HashSet::with_capacity(m * 2);
+    let mut attempts = 0usize;
+    let max_attempts = m * 50;
+    while set.len() < m && attempts < max_attempts {
+        attempts += 1;
+        let a = sample(&mut rng);
+        let b = sample(&mut rng);
+        if a != b {
+            set.insert(Edge::new(a, b));
+        }
+    }
+    Graph::from_edges(n, set)
+}
+
+/// A recursive-matrix (RMAT) graph with `2^scale` vertices and `m` distinct
+/// edges, using partition probabilities `(a, b, c)` (with `d = 1 − a − b − c`).
+/// The classic skewed parameters `(0.57, 0.19, 0.19)` give a heavy-tailed
+/// degree distribution similar to web and social graphs.
+pub fn rmat(scale: u32, m: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
+    assert!(a + b + c <= 1.0 + 1e-9, "rmat probabilities exceed 1");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set: HashSet<Edge> = HashSet::with_capacity(m * 2);
+    let mut attempts = 0usize;
+    let max_attempts = m * 100;
+    while set.len() < m && attempts < max_attempts {
+        attempts += 1;
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.random();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            set.insert(Edge::new(u as u32, v as u32));
+        }
+    }
+    Graph::from_edges(n, set)
+}
+
+/// A star `K_{1,n−1}`: one centre adjacent to everything. Triangle-free, with
+/// one maximally high-degree vertex — stresses the high-degree handling
+/// (Lemma 1 path) of every algorithm.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2);
+    Graph::from_edges(n, (1..n as u32).map(|v| Edge::new(0, v)))
+}
+
+/// A simple path on `n` vertices (triangle-free).
+pub fn path(n: usize) -> Graph {
+    Graph::from_edges(n, (0..n as u32 - 1).map(|v| Edge::new(v, v + 1)))
+}
+
+/// A simple cycle on `n ≥ 3` vertices (triangle-free for `n > 3`).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3);
+    let mut edges: Vec<Edge> = (0..n as u32 - 1).map(|v| Edge::new(v, v + 1)).collect();
+    edges.push(Edge::new(n as u32 - 1, 0));
+    Graph::from_edges(n, edges)
+}
+
+/// The complete bipartite graph `K_{a,b}` — dense yet triangle-free, a
+/// worst case for wedge-based algorithms that the output-sensitive bounds
+/// must still handle gracefully.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut edges = Vec::with_capacity(a * b);
+    for i in 0..a as u32 {
+        for j in 0..b as u32 {
+            edges.push(Edge::new(i, a as u32 + j));
+        }
+    }
+    Graph::from_edges(a + b, edges)
+}
+
+/// A "lollipop": a clique of `k` vertices with a path of `p` vertices
+/// attached — mixes a triangle-dense core with a triangle-free tail.
+pub fn lollipop(k: usize, p: usize) -> Graph {
+    let mut edges: Vec<Edge> = clique(k).edges().to_vec();
+    let mut prev = (k - 1) as u32;
+    for i in 0..p as u32 {
+        let nxt = k as u32 + i;
+        edges.push(Edge::new(prev, nxt));
+        prev = nxt;
+    }
+    Graph::from_edges(k + p, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn erdos_renyi_has_exact_edge_count_and_is_simple() {
+        for &(n, m) in &[(50usize, 100usize), (10, 45), (1000, 5000)] {
+            let g = erdos_renyi(n, m, 3);
+            assert_eq!(g.edge_count(), m);
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_in_seed() {
+        assert_eq!(erdos_renyi(100, 400, 9), erdos_renyi(100, 400, 9));
+        assert_ne!(erdos_renyi(100, 400, 9), erdos_renyi(100, 400, 10));
+    }
+
+    #[test]
+    fn clique_counts() {
+        let g = clique(10);
+        assert_eq!(g.edge_count(), 45);
+        assert_eq!(naive::count_triangles(&g), 120); // C(10,3)
+        let u = clique_union(3, 4);
+        assert_eq!(u.edge_count(), 3 * 6);
+        assert_eq!(naive::count_triangles(&u), 3 * 4);
+    }
+
+    #[test]
+    fn tripartite_triangles_are_cross_part() {
+        let g = tripartite(10, 10, 10, 0.5, 1);
+        g.validate().unwrap();
+        for t in naive::enumerate_triangles(&g) {
+            // One vertex per part: with parts [0,10), [10,20), [20,30).
+            let parts: std::collections::HashSet<u32> =
+                [t.a / 10, t.b / 10, t.c / 10].into_iter().collect();
+            assert_eq!(parts.len(), 3, "triangle {t:?} not cross-part");
+        }
+    }
+
+    #[test]
+    fn sells_join_triangles_are_join_rows() {
+        let (g, brand_base, type_base) = sells_join(20, 10, 15, 5, 4, 7);
+        g.validate().unwrap();
+        let tris = naive::enumerate_triangles(&g);
+        assert!(!tris.is_empty(), "join scenario should produce rows");
+        for t in tris {
+            let kinds = [t.a, t.b, t.c]
+                .iter()
+                .map(|&v| {
+                    if v < brand_base {
+                        0
+                    } else if v < type_base {
+                        1
+                    } else {
+                        2
+                    }
+                })
+                .collect::<std::collections::HashSet<_>>();
+            assert_eq!(kinds.len(), 3, "a join row must have one value per column");
+        }
+    }
+
+    #[test]
+    fn power_law_and_rmat_are_simple_and_skewed() {
+        let g = chung_lu_power_law(2000, 6000, 2.5, 5);
+        g.validate().unwrap();
+        assert!(g.edge_count() > 4000);
+        assert!(g.max_degree() > 50, "power-law graph should have hubs");
+
+        let r = rmat(10, 4000, 0.57, 0.19, 0.19, 5);
+        r.validate().unwrap();
+        assert!(r.edge_count() > 3000);
+        assert!(r.max_degree() > 30, "rmat graph should have hubs");
+    }
+
+    #[test]
+    fn degenerate_families_are_triangle_free() {
+        assert_eq!(naive::count_triangles(&star(50)), 0);
+        assert_eq!(naive::count_triangles(&path(50)), 0);
+        assert_eq!(naive::count_triangles(&cycle(50)), 0);
+        assert_eq!(naive::count_triangles(&complete_bipartite(10, 12)), 0);
+        assert_eq!(naive::count_triangles(&cycle(3)), 1);
+    }
+
+    #[test]
+    fn lollipop_mixes_core_and_tail() {
+        let g = lollipop(6, 10);
+        assert_eq!(naive::count_triangles(&g), 20); // C(6,3)
+        assert_eq!(g.vertex_count(), 16);
+    }
+}

@@ -1,0 +1,44 @@
+//! # graphgen — graph types, synthetic workloads and in-memory oracles
+//!
+//! The triangle-enumeration algorithms in the `trienum` crate take a simple
+//! undirected graph as input. This crate provides:
+//!
+//! * [`Edge`], [`Triangle`], [`Graph`] — the in-memory graph representation
+//!   and the canonical preprocessing the paper assumes: vertices totally
+//!   ordered by degree (ties broken consistently), every edge stored as
+//!   `(u, v)` with `u < v` in that order, edges sorted lexicographically.
+//! * [`generators`] — synthetic graph families used by the experiments:
+//!   Erdős–Rényi `G(n, m)`, cliques (the paper's worst case with
+//!   `t = Θ(E^{3/2})` triangles), the tripartite "5th-normal-form join"
+//!   graphs from the paper's database motivation, Chung–Lu power-law graphs,
+//!   RMAT graphs, and assorted degenerate families (stars, paths, cycles,
+//!   complete bipartite — all triangle-free) for edge-case testing.
+//! * [`naive`] — an in-memory triangle enumeration oracle used to verify
+//!   that every external-memory algorithm emits exactly the right set of
+//!   triangles, exactly once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod naive;
+mod types;
+
+pub use types::{Edge, Graph, Triangle, VertexId};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graphs_pass_validation_and_have_expected_triangles() {
+        let g = generators::clique(6);
+        g.validate().unwrap();
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(naive::count_triangles(&g), 20); // C(6,3)
+
+        let er = generators::erdos_renyi(100, 300, 7);
+        er.validate().unwrap();
+        assert_eq!(er.edge_count(), 300);
+    }
+}

@@ -1,0 +1,165 @@
+//! Vertex colourings built from limited-independence hash functions.
+
+use crate::fourwise::FourWise;
+
+/// A random colouring `ξ : V → {0, …, c−1}` drawn from a 4-wise independent
+/// family, as used by the cache-aware randomized algorithm (paper Section 2,
+/// step 2) with `c = √(E/M)` colours.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomColoring {
+    hash: FourWise,
+    colors: u64,
+}
+
+impl RandomColoring {
+    /// Creates a colouring with `colors ≥ 1` colours from `seed`.
+    pub fn new(colors: u64, seed: u64) -> Self {
+        assert!(colors >= 1, "need at least one colour");
+        Self {
+            hash: FourWise::new(seed),
+            colors,
+        }
+    }
+
+    /// Number of colours `c`.
+    pub fn colors(&self) -> u64 {
+        self.colors
+    }
+
+    /// The colour of vertex `v`, in `[0, c)`.
+    pub fn color(&self, v: u32) -> u64 {
+        self.hash.eval_range(v as u64, self.colors)
+    }
+}
+
+/// A colouring produced by iterated refinement
+/// `ξ_i(v) = 2·ξ_{i−1}(v) − b_{i−1}(v)`, exactly as in Section 3 (step 2 of
+/// the cache-oblivious recursion) and Section 4 (the greedy derandomization).
+///
+/// The refinement starts from the constant colouring `ξ_0 ≡ 1`; after `i`
+/// refinements the colour of a vertex lies in `[2^i·base − (2^i − 1), 2^i·base]`.
+/// Only the chosen bit functions are stored (`O(i)` words), so recomputing a
+/// vertex colour is cheap and no per-vertex table — which would not fit in
+/// internal memory — is ever needed.
+#[derive(Debug, Clone, Default)]
+pub struct RefinedColoring {
+    bits: Vec<FourWise>,
+}
+
+impl RefinedColoring {
+    /// The identity (depth-0) refinement: every vertex keeps its base colour.
+    pub fn identity() -> Self {
+        Self { bits: Vec::new() }
+    }
+
+    /// Number of refinement levels applied.
+    pub fn depth(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Appends one refinement level using bit function `b`.
+    pub fn push(&mut self, b: FourWise) {
+        self.bits.push(b);
+    }
+
+    /// Removes the most recent refinement level (used when backtracking out
+    /// of a recursion level).
+    pub fn pop(&mut self) {
+        self.bits.pop();
+    }
+
+    /// The colour of vertex `v` when the base colouring assigns `base`.
+    ///
+    /// With `ξ_0(v) = base` and `ξ_i(v) = 2ξ_{i−1}(v) − b_{i−1}(v)` this is
+    /// the value after applying every stored refinement level in order.
+    pub fn color_of(&self, base: u64, v: u32) -> u64 {
+        let mut c = base;
+        for b in &self.bits {
+            c = 2 * c - u64::from(b.eval_bit(v as u64));
+        }
+        c
+    }
+
+    /// The colour of vertex `v` starting from the paper's constant base
+    /// colouring `ξ_0 ≡ 1`.
+    pub fn color(&self, v: u32) -> u64 {
+        self.color_of(1, v)
+    }
+
+    /// The bit chosen for vertex `v` at refinement level `i` (0-based).
+    pub fn bit(&self, i: usize, v: u32) -> bool {
+        self.bits[i].eval_bit(v as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_coloring_range_and_determinism() {
+        let c = RandomColoring::new(6, 11);
+        for v in 0..500u32 {
+            assert!(c.color(v) < 6);
+            assert_eq!(c.color(v), RandomColoring::new(6, 11).color(v));
+        }
+    }
+
+    #[test]
+    fn single_color_coloring_is_constant() {
+        let c = RandomColoring::new(1, 5);
+        assert!((0..100u32).all(|v| c.color(v) == 0));
+    }
+
+    #[test]
+    fn refinement_produces_children_of_parent_color() {
+        // After one refinement, colour values must be in {2c-1, 2c} where c
+        // is the parent colour — that is the branching structure the
+        // cache-oblivious recursion relies on.
+        let fam = crate::BitFunctionFamily::new(4, 3);
+        let mut r = RefinedColoring::identity();
+        assert_eq!(r.color(42), 1);
+        r.push(fam.function(0));
+        for v in 0..200u32 {
+            let c = r.color(v);
+            assert!(c == 1 || c == 2, "colour {c} not a child of 1");
+        }
+        r.push(fam.function(1));
+        for v in 0..200u32 {
+            let parent = {
+                let mut r1 = RefinedColoring::identity();
+                r1.push(fam.function(0));
+                r1.color(v)
+            };
+            let child = r.color(v);
+            assert!(child == 2 * parent || child == 2 * parent - 1);
+        }
+    }
+
+    #[test]
+    fn pop_undoes_refinement() {
+        let fam = crate::BitFunctionFamily::new(2, 9);
+        let mut r = RefinedColoring::identity();
+        r.push(fam.function(0));
+        let with_one = r.color(7);
+        r.push(fam.function(1));
+        r.pop();
+        assert_eq!(r.color(7), with_one);
+        assert_eq!(r.depth(), 1);
+    }
+
+    #[test]
+    fn depth_matches_number_of_levels() {
+        let fam = crate::BitFunctionFamily::new(3, 1);
+        let mut r = RefinedColoring::identity();
+        for i in 0..3 {
+            r.push(fam.function(i));
+        }
+        assert_eq!(r.depth(), 3);
+        // With base colour 1 and depth d, colours lie in [2^d - (2^d - 1), 2^d] = [1, 8].
+        for v in 0..100u32 {
+            let c = r.color(v);
+            assert!((1..=8).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! 4-wise independent hashing via random degree-3 polynomials over a
+//! Mersenne prime field.
+
+use rand::prelude::*;
+
+/// The Mersenne prime `2^61 − 1`.
+const P: u128 = (1u128 << 61) - 1;
+
+/// A hash function drawn from a 4-wise independent family.
+///
+/// `h(x) = a₃x³ + a₂x² + a₁x + a₀ mod (2^61 − 1)`, with the coefficients
+/// drawn uniformly at random. Any degree-(k−1) polynomial over a field is
+/// k-wise independent, so this family is exactly 4-wise independent — the
+/// property Lemma 3 and Lemma 4 of the paper rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FourWise {
+    coeffs: [u64; 4],
+}
+
+fn reduce(x: u128) -> u64 {
+    // Fast reduction modulo the Mersenne prime 2^61 - 1.
+    let lo = x & P;
+    let hi = x >> 61;
+    let mut r = lo + hi;
+    if r >= P {
+        r -= P;
+    }
+    r as u64
+}
+
+impl FourWise {
+    /// Draws a function from the family using `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coeffs = [0u64; 4];
+        for c in &mut coeffs {
+            *c = rng.random_range(0..(P as u64));
+        }
+        // Ensure the polynomial is non-constant so distinct inputs can map to
+        // distinct outputs (constant polynomials are valid members of the
+        // family but useless as colourings).
+        if coeffs[1] == 0 && coeffs[2] == 0 && coeffs[3] == 0 {
+            coeffs[1] = 1;
+        }
+        Self { coeffs }
+    }
+
+    /// Builds a function from explicit coefficients (used by tests).
+    pub fn from_coeffs(coeffs: [u64; 4]) -> Self {
+        Self {
+            coeffs: coeffs.map(|c| c % P as u64),
+        }
+    }
+
+    /// Evaluates the hash on `x`, returning a value in `[0, 2^61 − 1)`.
+    pub fn eval(&self, x: u64) -> u64 {
+        // Horner evaluation with Mersenne reduction after every step.
+        let x = (x % P as u64) as u128;
+        let mut acc = self.coeffs[3] as u128;
+        for &c in [self.coeffs[2], self.coeffs[1], self.coeffs[0]].iter() {
+            acc = reduce(acc * x) as u128 + c as u128;
+            if acc >= P {
+                acc -= P;
+            }
+        }
+        acc as u64
+    }
+
+    /// Evaluates the hash and reduces it to `[0, range)`.
+    pub fn eval_range(&self, x: u64, range: u64) -> u64 {
+        debug_assert!(range > 0);
+        self.eval(x) % range
+    }
+
+    /// Evaluates the hash as a single unbiased-ish bit (the parity of the
+    /// top bits, which are well mixed by the polynomial).
+    pub fn eval_bit(&self, x: u64) -> bool {
+        (self.eval(x) >> 33) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = FourWise::new(7);
+        let b = FourWise::new(7);
+        let c = FourWise::new(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.eval(123), b.eval(123));
+    }
+
+    #[test]
+    fn outputs_are_in_field_range() {
+        let h = FourWise::new(3);
+        for x in [0u64, 1, 2, 1 << 40, u64::MAX] {
+            assert!(h.eval(x) < (1 << 61) - 1);
+        }
+    }
+
+    #[test]
+    fn range_reduction_respects_bound() {
+        let h = FourWise::new(5);
+        for x in 0..1000u64 {
+            assert!(h.eval_range(x, 7) < 7);
+        }
+    }
+
+    #[test]
+    fn colors_are_roughly_uniform() {
+        // Chi-square style sanity check: 10 colours over 20k keys; each
+        // bucket should be within 15% of the mean.
+        let h = FourWise::new(42);
+        let c = 10u64;
+        let n = 20_000u64;
+        let mut counts = HashMap::new();
+        for x in 0..n {
+            *counts.entry(h.eval_range(x, c)).or_insert(0u64) += 1;
+        }
+        let mean = n as f64 / c as f64;
+        for (_, cnt) in counts {
+            assert!((cnt as f64 - mean).abs() < 0.15 * mean, "bucket count {cnt} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn pairwise_collision_probability_close_to_one_over_c() {
+        // For 4-wise (hence 2-wise) independent colourings, two fixed keys
+        // collide with probability 1/c. Estimate over many seeds.
+        let c = 8u64;
+        let trials = 4000;
+        let mut collisions = 0;
+        for seed in 0..trials {
+            let h = FourWise::new(seed);
+            if h.eval_range(17, c) == h.eval_range(91, c) {
+                collisions += 1;
+            }
+        }
+        let p = collisions as f64 / trials as f64;
+        assert!((p - 1.0 / c as f64).abs() < 0.03, "empirical collision prob {p}");
+    }
+
+    #[test]
+    fn bit_function_is_roughly_balanced() {
+        let h = FourWise::new(1234);
+        let ones = (0..10_000u64).filter(|&x| h.eval_bit(x)).count();
+        assert!((4_000..=6_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn quadruple_collision_statistics_match_independence() {
+        // 4-wise independence: for 4 fixed distinct keys the probability that
+        // all four get colour 0 (out of 2) is 1/16. Check empirically.
+        let keys = [3u64, 7, 1000, 65_537];
+        let trials = 8000;
+        let mut all_zero = 0;
+        for seed in 0..trials {
+            let h = FourWise::new(seed);
+            if keys.iter().all(|&k| h.eval_range(k, 2) == 0) {
+                all_zero += 1;
+            }
+        }
+        let p = all_zero as f64 / trials as f64;
+        assert!((p - 1.0 / 16.0).abs() < 0.02, "empirical all-zero prob {p}");
+    }
+}

@@ -1,0 +1,60 @@
+//! The cache-obliviousness demonstration: one binary, one algorithm, zero
+//! tuning — run it against machines with different memory sizes and block
+//! sizes and watch the I/O count track `E^{3/2}/(√M·B)` anyway.
+//!
+//! This is the essence of Theorem 1: the algorithm's code never mentions `M`
+//! or `B`; only the simulator (standing in for the real cache hierarchy)
+//! knows them.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example cache_oblivious_scaling
+//! ```
+
+use emsim::EmConfig;
+use graphgen::generators;
+use trienum::{count_triangles, Algorithm};
+
+fn main() {
+    let graph = generators::erdos_renyi(1_500, 12_000, 7);
+    println!(
+        "fixed input: V = {}, E = {}\n",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+
+    println!(
+        "{:>10} {:>8} {:>12} {:>18} {:>12}",
+        "M (words)", "B", "I/Os", "bound E^1.5/(√M·B)", "I/O / bound"
+    );
+
+    let alg = Algorithm::CacheObliviousRandomized { seed: 11 };
+    for (mem, block) in [
+        (1usize << 9, 32usize),
+        (1 << 10, 32),
+        (1 << 12, 32),
+        (1 << 14, 32),
+        (1 << 12, 64),
+        (1 << 12, 128),
+        (1 << 14, 128),
+    ] {
+        let cfg = EmConfig::new(mem, block);
+        let (t, report) = count_triangles(&graph, alg, cfg);
+        let bound = cfg.triangle_bound(report.edges);
+        println!(
+            "{:>10} {:>8} {:>12} {:>18.0} {:>12.2}",
+            mem,
+            block,
+            report.io.total(),
+            bound,
+            report.io.total() as f64 / bound
+        );
+        assert_eq!(t, report.triangles);
+    }
+
+    println!(
+        "\nThe right-hand column stays within a narrow constant band: the same\n\
+         binary adapts to every (M, B) without being told either parameter —\n\
+         the defining property of a cache-oblivious algorithm (Theorem 1)."
+    );
+}

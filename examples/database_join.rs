@@ -1,0 +1,76 @@
+//! The paper's motivating database scenario (Section 1): reconstructing a
+//! `Sells(salesperson, brand, productType)` relation in 5th normal form from
+//! its three two-attribute projections by enumerating triangles of the union
+//! of the corresponding bipartite graphs.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example database_join
+//! ```
+
+use emsim::EmConfig;
+use graphgen::generators;
+use trienum::{enumerate_triangles, Algorithm, CollectingSink};
+
+fn main() {
+    // 400 salespeople, 60 brands, 120 product types; each of the 80 "market
+    // groups" sells every product of a brand set to a salesperson set — the
+    // situation in which 5NF decomposition loses nothing and the original
+    // relation is exactly the set of triangles.
+    let (graph, brand_base, type_base) =
+        generators::sells_join(400, 60, 120, 80, 6, 2024);
+    println!(
+        "decomposed tables as a graph: V = {}, E = {}",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+
+    let cfg = EmConfig::new(1 << 11, 64);
+    let mut sink = CollectingSink::new();
+    let report = enumerate_triangles(
+        &graph,
+        Algorithm::CacheAwareRandomized { seed: 7 },
+        cfg,
+        &mut sink,
+    );
+
+    println!(
+        "reconstructed {} Sells rows with {} ({} I/Os, {:.2}x the paper bound)\n",
+        sink.len(),
+        report.algorithm,
+        report.io.total(),
+        report.normalized_to_triangle_bound()
+    );
+
+    // Decode a few triangles back into relational rows. Each triangle has
+    // exactly one vertex per attribute column by construction.
+    println!("first rows of Sells(salesperson, brand, productType):");
+    let mut rows: Vec<(u32, u32, u32)> = sink
+        .triangles()
+        .iter()
+        .map(|t| {
+            let mut sp = None;
+            let mut brand = None;
+            let mut ptype = None;
+            for v in [t.a, t.b, t.c] {
+                if v < brand_base {
+                    sp = Some(v);
+                } else if v < type_base {
+                    brand = Some(v - brand_base);
+                } else {
+                    ptype = Some(v - type_base);
+                }
+            }
+            (
+                sp.expect("salesperson column"),
+                brand.expect("brand column"),
+                ptype.expect("productType column"),
+            )
+        })
+        .collect();
+    rows.sort_unstable();
+    for (sp, brand, ptype) in rows.iter().take(10) {
+        println!("  (salesperson {sp:>4}, brand {brand:>3}, productType {ptype:>3})");
+    }
+    println!("  ... {} rows in total", rows.len());
+}

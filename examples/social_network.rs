@@ -1,0 +1,85 @@
+//! Triangle enumeration on a skewed, social-network-like graph.
+//!
+//! The paper's introduction cites social-network analysis (friend-of-friend
+//! structure, community detection) as a driving application. This example
+//! generates a power-law (Chung–Lu) graph, enumerates its triangles with the
+//! cache-oblivious algorithm, and derives two classic analytics from the
+//! stream of emitted triangles *without ever storing the triangle list*:
+//! per-vertex triangle counts (the numerator of local clustering
+//! coefficients) and the global transitivity.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use emsim::EmConfig;
+use graphgen::{generators, Triangle};
+use trienum::{enumerate_triangles, Algorithm, FnSink};
+
+fn main() {
+    let n = 4_000;
+    let graph = generators::chung_lu_power_law(n, 24_000, 2.3, 99);
+    println!(
+        "social graph: V = {}, E = {}, max degree = {}",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.max_degree()
+    );
+
+    let cfg = EmConfig::new(1 << 12, 128);
+
+    // The sink is a pair of small accumulators — this is exactly the
+    // "enumeration, not listing" usage the paper argues for: the triangles
+    // are consumed on the fly (here: counted per vertex), never written out.
+    let mut per_vertex = vec![0u32; graph.vertex_count()];
+    let mut total = 0u64;
+    let report = {
+        let mut sink = FnSink(|t: Triangle| {
+            total += 1;
+            per_vertex[t.a as usize] += 1;
+            per_vertex[t.b as usize] += 1;
+            per_vertex[t.c as usize] += 1;
+        });
+        enumerate_triangles(
+            &graph,
+            Algorithm::CacheObliviousRandomized { seed: 3 },
+            cfg,
+            &mut sink,
+        )
+    };
+
+    println!(
+        "enumerated {} triangles in {} I/Os (cache-oblivious; {:.2}x the E^1.5/(sqrt(M)B) bound)",
+        total,
+        report.io.total(),
+        report.normalized_to_triangle_bound()
+    );
+
+    // Global transitivity = 3·triangles / #wedges.
+    let degrees = graph.degrees();
+    let wedges: u64 = degrees.iter().map(|&d| (d as u64) * (d as u64).saturating_sub(1) / 2).sum();
+    println!(
+        "global transitivity: {:.4}  (3*{} / {} wedges)",
+        3.0 * total as f64 / wedges.max(1) as f64,
+        total,
+        wedges
+    );
+
+    // The ten most "triangle-central" members of the network.
+    let mut ranked: Vec<(u32, u32)> = per_vertex
+        .iter()
+        .enumerate()
+        .map(|(v, &c)| (v as u32, c))
+        .collect();
+    ranked.sort_unstable_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("top members by triangle participation:");
+    for (v, c) in ranked.iter().take(10) {
+        let d = degrees[*v as usize];
+        let possible = (d as u64 * (d as u64 - 1) / 2).max(1);
+        println!(
+            "  vertex {v:>5}: {c:>6} triangles, degree {d:>4}, local clustering {:.3}",
+            *c as f64 / possible as f64
+        );
+    }
+}

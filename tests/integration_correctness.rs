@@ -1,0 +1,127 @@
+//! Cross-crate correctness: every algorithm, on every graph family, emits
+//! exactly the oracle's triangle set, exactly once.
+
+use emsim::EmConfig;
+use graphgen::{generators, naive, Graph, Triangle};
+use trienum::{enumerate_triangles, Algorithm, CollectingSink, ALL_ALGORITHMS};
+
+fn check_exact(graph: &Graph, cfg: EmConfig, alg: Algorithm, label: &str) {
+    let expected: std::collections::HashSet<Triangle> =
+        naive::enumerate_triangles(graph).into_iter().collect();
+    let mut sink = CollectingSink::new();
+    let report = enumerate_triangles(graph, alg, cfg, &mut sink);
+    let emitted = sink.triangles();
+    assert_eq!(
+        emitted.len(),
+        expected.len(),
+        "{label}/{}: wrong number of emissions",
+        alg.name()
+    );
+    let got: std::collections::HashSet<Triangle> = emitted.iter().copied().collect();
+    assert_eq!(got.len(), emitted.len(), "{label}/{}: duplicate emissions", alg.name());
+    assert_eq!(got, expected, "{label}/{}: wrong triangle set", alg.name());
+    assert_eq!(report.triangles, expected.len() as u64, "{label}/{}", alg.name());
+}
+
+#[test]
+fn all_algorithms_on_erdos_renyi() {
+    let cfg = EmConfig::new(512, 32);
+    for seed in [11u64, 99] {
+        let g = generators::erdos_renyi(120, 900, seed);
+        for alg in ALL_ALGORITHMS {
+            check_exact(&g, cfg, alg, &format!("er-{seed}"));
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_on_the_clique_worst_case() {
+    // The clique is the paper's lower-bound witness: t = Θ(E^{3/2}).
+    let g = generators::clique(22);
+    let cfg = EmConfig::new(256, 32);
+    for alg in ALL_ALGORITHMS {
+        check_exact(&g, cfg, alg, "clique22");
+    }
+}
+
+#[test]
+fn all_algorithms_on_skewed_graphs_with_hubs() {
+    // Power-law graphs exercise the high-degree (Lemma 1) code paths.
+    let g = generators::chung_lu_power_law(300, 1800, 2.1, 5);
+    let cfg = EmConfig::new(512, 32);
+    for alg in ALL_ALGORITHMS {
+        check_exact(&g, cfg, alg, "powerlaw");
+    }
+}
+
+#[test]
+fn all_algorithms_on_rmat() {
+    let g = generators::rmat(9, 1500, 0.57, 0.19, 0.19, 3);
+    let cfg = EmConfig::new(512, 32);
+    for alg in ALL_ALGORITHMS {
+        check_exact(&g, cfg, alg, "rmat");
+    }
+}
+
+#[test]
+fn all_algorithms_on_triangle_free_and_degenerate_graphs() {
+    let cfg = EmConfig::new(256, 32);
+    let families: Vec<(&str, Graph)> = vec![
+        ("star", generators::star(120)),
+        ("path", generators::path(150)),
+        ("cycle", generators::cycle(90)),
+        ("bipartite", generators::complete_bipartite(25, 25)),
+        ("triangle", generators::cycle(3)),
+        ("two-cliques", generators::clique_union(2, 9)),
+        ("lollipop", generators::lollipop(8, 40)),
+    ];
+    for (label, g) in &families {
+        for alg in ALL_ALGORITHMS {
+            check_exact(g, cfg, alg, label);
+        }
+    }
+}
+
+#[test]
+fn tiny_graphs_do_not_break_anything() {
+    let cfg = EmConfig::new(128, 32);
+    // Empty graph, single edge, single triangle.
+    let empty = Graph::empty(5);
+    let single_edge = Graph::from_edges(2, vec![graphgen::Edge::new(0, 1)]);
+    let single_triangle = generators::clique(3);
+    for alg in ALL_ALGORITHMS {
+        check_exact(&empty, cfg, alg, "empty");
+        check_exact(&single_edge, cfg, alg, "one-edge");
+        check_exact(&single_triangle, cfg, alg, "one-triangle");
+    }
+}
+
+#[test]
+fn randomized_algorithms_are_seed_insensitive_in_output() {
+    let g = generators::erdos_renyi(150, 1000, 42);
+    let expected = naive::count_triangles(&g);
+    let cfg = EmConfig::new(512, 32);
+    for seed in 0..3u64 {
+        let (a, _) = trienum::count_triangles(&g, Algorithm::CacheAwareRandomized { seed }, cfg);
+        let (b, _) =
+            trienum::count_triangles(&g, Algorithm::CacheObliviousRandomized { seed }, cfg);
+        assert_eq!(a, expected);
+        assert_eq!(b, expected);
+    }
+}
+
+#[test]
+fn memory_starved_configurations_remain_exact() {
+    // M barely larger than a handful of blocks: chunking code paths must not
+    // lose or duplicate triangles.
+    let g = generators::erdos_renyi(90, 700, 8);
+    let cfg = EmConfig::new(64, 16);
+    for alg in [
+        Algorithm::CacheAwareRandomized { seed: 2 },
+        Algorithm::CacheObliviousRandomized { seed: 2 },
+        Algorithm::HuTaoChung,
+        Algorithm::SortBased,
+    ] {
+        check_exact(&g, cfg, alg, "starved");
+    }
+}

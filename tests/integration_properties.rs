@@ -1,0 +1,170 @@
+//! Property-based tests (proptest): the external-memory algorithms agree
+//! with the in-memory oracle on arbitrary random graphs, the substrate
+//! invariants hold for arbitrary data, and the analytic bounds behave
+//! monotonically.
+
+use emsim::{EmConfig, ExtVec, Machine};
+use graphgen::{naive, Edge, Graph};
+use proptest::prelude::*;
+use trienum::{count_triangles, enumerate_triangles, Algorithm, CollectingSink};
+
+/// Strategy: a random simple graph with up to `max_v` vertices and `max_e`
+/// candidate edges (duplicates removed by `Graph::from_edges`).
+fn arb_graph(max_v: u32, max_e: usize) -> impl Strategy<Value = Graph> {
+    (2..max_v)
+        .prop_flat_map(move |v| {
+            prop::collection::vec((0..v, 0..v), 0..max_e)
+                .prop_map(move |pairs| {
+                    let edges = pairs
+                        .into_iter()
+                        .filter(|(a, b)| a != b)
+                        .map(|(a, b)| Edge::new(a, b));
+                    Graph::from_edges(v as usize, edges)
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cache_aware_matches_oracle_on_arbitrary_graphs(g in arb_graph(60, 300), seed in 0u64..1000) {
+        let expected = naive::count_triangles(&g);
+        let cfg = EmConfig::new(256, 32);
+        let (got, _) = count_triangles(&g, Algorithm::CacheAwareRandomized { seed }, cfg);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn cache_oblivious_matches_oracle_on_arbitrary_graphs(g in arb_graph(60, 300), seed in 0u64..1000) {
+        let expected = naive::count_triangles(&g);
+        let cfg = EmConfig::new(256, 32);
+        let (got, _) = count_triangles(&g, Algorithm::CacheObliviousRandomized { seed }, cfg);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn deterministic_matches_oracle_on_arbitrary_graphs(g in arb_graph(50, 250)) {
+        let expected = naive::count_triangles(&g);
+        let cfg = EmConfig::new(256, 32);
+        let (got, _) = count_triangles(
+            &g,
+            Algorithm::DeterministicCacheAware { family_seed: 7, candidates: Some(8) },
+            cfg,
+        );
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn baselines_match_oracle_on_arbitrary_graphs(g in arb_graph(40, 200)) {
+        let expected = naive::count_triangles(&g);
+        let cfg = EmConfig::new(128, 16);
+        for alg in [Algorithm::HuTaoChung, Algorithm::SortBased, Algorithm::BlockNestedLoop] {
+            let (got, _) = count_triangles(&g, alg, cfg);
+            prop_assert_eq!(got, expected, "algorithm {}", alg.name());
+        }
+    }
+
+    #[test]
+    fn emissions_are_exactly_once_and_translated(g in arb_graph(40, 200), seed in 0u64..100) {
+        let expected: std::collections::HashSet<_> =
+            naive::enumerate_triangles(&g).into_iter().collect();
+        let mut sink = CollectingSink::new();
+        enumerate_triangles(&g, Algorithm::CacheObliviousRandomized { seed },
+                            EmConfig::new(128, 16), &mut sink);
+        let got: Vec<_> = sink.triangles().to_vec();
+        let set: std::collections::HashSet<_> = got.iter().copied().collect();
+        prop_assert_eq!(set.len(), got.len(), "duplicate emission");
+        prop_assert_eq!(set, expected);
+    }
+
+    #[test]
+    fn external_sorts_agree_with_std_sort(mut data in prop::collection::vec(any::<u64>(), 0..2000),
+                                          mem_exp in 7u32..12) {
+        let machine = Machine::new(EmConfig::new(1 << mem_exp, 32));
+        let v = ExtVec::from_slice(&machine, &data);
+        let aware = emalgo::external_sort_by_key(&v, |x| *x).load_all();
+        let oblivious = emalgo::oblivious_sort_by_key(&v, |x| *x).load_all();
+        data.sort_unstable();
+        prop_assert_eq!(&aware, &data);
+        prop_assert_eq!(&oblivious, &data);
+    }
+
+    #[test]
+    fn scan_io_cost_is_exact(n in 1usize..5000, block_exp in 4u32..8) {
+        let block = 1usize << block_exp;
+        let machine = Machine::new(EmConfig::new(block * 4, block));
+        let v = ExtVec::from_slice(&machine, &(0..n as u64).collect::<Vec<_>>());
+        machine.cold_cache();
+        let before = machine.io();
+        let total: u64 = v.iter().sum();
+        prop_assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+        let reads = machine.io().reads - before.reads;
+        prop_assert_eq!(reads, n.div_ceil(block) as u64);
+    }
+
+    #[test]
+    fn lower_bound_is_monotone_in_t_and_antitone_in_m(t1 in 1u64..10_000_000, t2 in 1u64..10_000_000,
+                                                      m_exp in 8u32..20) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let cfg_small = EmConfig::new(1 << m_exp, 64);
+        let cfg_large = EmConfig::new(1 << (m_exp + 2), 64);
+        prop_assert!(cfg_small.lower_bound(lo) <= cfg_small.lower_bound(hi));
+        prop_assert!(cfg_large.lower_bound(hi) <= cfg_small.lower_bound(hi));
+    }
+
+    #[test]
+    fn four_wise_coloring_is_deterministic_and_in_range(seed in any::<u64>(), colors in 1u64..64,
+                                                        v in any::<u32>()) {
+        let c1 = kwise::RandomColoring::new(colors, seed);
+        let c2 = kwise::RandomColoring::new(colors, seed);
+        prop_assert_eq!(c1.color(v), c2.color(v));
+        prop_assert!(c1.color(v) < colors);
+    }
+
+    #[test]
+    fn refined_coloring_children_stay_in_parent_interval(seed in any::<u64>(), depth in 1usize..6,
+                                                         v in any::<u32>()) {
+        let fam = kwise::BitFunctionFamily::new(depth, seed);
+        let mut coloring = kwise::RefinedColoring::identity();
+        for i in 0..depth {
+            coloring.push(fam.function(i));
+        }
+        let c = coloring.color(v);
+        // After `depth` refinements of base colour 1, colours lie in [1, 2^depth].
+        prop_assert!(c >= 1 && c <= (1u64 << depth));
+    }
+}
+
+// A deterministic regression corpus for graphs that once looked tricky
+// (hubs, ties in the degree order, isolated vertices).
+#[test]
+fn regression_corpus() {
+    let corpus = vec![
+        Graph::from_edges(6, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0), Edge::new(3, 4)]),
+        Graph::from_edges(
+            8,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 2),
+                Edge::new(0, 3),
+                Edge::new(0, 4),
+                Edge::new(0, 5),
+                Edge::new(0, 6),
+                Edge::new(0, 7),
+                Edge::new(1, 2),
+                Edge::new(3, 4),
+                Edge::new(5, 6),
+            ],
+        ),
+        Graph::from_edges(5, vec![Edge::new(0, 1)]),
+    ];
+    let cfg = EmConfig::new(128, 16);
+    for (i, g) in corpus.iter().enumerate() {
+        let expected = naive::count_triangles(g);
+        for alg in trienum::ALL_ALGORITHMS {
+            let (got, _) = count_triangles(g, alg, cfg);
+            assert_eq!(got, expected, "corpus graph {i}, algorithm {}", alg.name());
+        }
+    }
+}
