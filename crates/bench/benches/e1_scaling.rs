@@ -29,20 +29,16 @@ fn bench_e1(c: &mut Criterion) {
             Algorithm::SortBased,
         ];
         for alg in algs {
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), e),
-                &g,
-                |b, g| b.iter(|| black_box(count_triangles(black_box(g), alg, cfg).0)),
-            );
+            group.bench_with_input(BenchmarkId::new(alg.name(), e), &g, |b, g| {
+                b.iter(|| black_box(count_triangles(black_box(g), alg, cfg).0))
+            });
         }
         if e <= 2_000 {
-            group.bench_with_input(
-                BenchmarkId::new("block-nested-loop", e),
-                &g,
-                |b, g| {
-                    b.iter(|| black_box(count_triangles(black_box(g), Algorithm::BlockNestedLoop, cfg).0))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("block-nested-loop", e), &g, |b, g| {
+                b.iter(|| {
+                    black_box(count_triangles(black_box(g), Algorithm::BlockNestedLoop, cfg).0)
+                })
+            });
         }
     }
     group.finish();

@@ -18,7 +18,14 @@ fn bench_e2(c: &mut Criterion) {
         let g = generators::erdos_renyi((e / 8).max(64), e, 2);
         group.bench_with_input(BenchmarkId::new("cache-aware", ratio), &g, |b, g| {
             b.iter(|| {
-                black_box(count_triangles(black_box(g), Algorithm::CacheAwareRandomized { seed: 3 }, cfg).0)
+                black_box(
+                    count_triangles(
+                        black_box(g),
+                        Algorithm::CacheAwareRandomized { seed: 3 },
+                        cfg,
+                    )
+                    .0,
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("hu-tao-chung", ratio), &g, |b, g| {

@@ -16,7 +16,14 @@ fn bench_e5(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.bench_with_input(BenchmarkId::new("randomized", 8_000), &g, |b, g| {
         b.iter(|| {
-            black_box(count_triangles(black_box(g), Algorithm::CacheAwareRandomized { seed: 5 }, cfg).0)
+            black_box(
+                count_triangles(
+                    black_box(g),
+                    Algorithm::CacheAwareRandomized { seed: 5 },
+                    cfg,
+                )
+                .0,
+            )
         })
     });
     for &cands in &[8usize, 32] {

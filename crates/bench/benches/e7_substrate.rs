@@ -14,20 +14,28 @@ fn bench_sorts(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     for &n in &[10_000usize, 50_000] {
         let data: Vec<u64> = (0..n as u64).rev().collect();
-        group.bench_with_input(BenchmarkId::new("multiway_mergesort", n), &data, |b, data| {
-            b.iter(|| {
-                let machine = Machine::new(EmConfig::new(1 << 12, 64));
-                let v = ExtVec::from_slice(&machine, data);
-                black_box(emalgo::external_sort_by_key(&v, |x| *x).len())
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("oblivious_mergesort", n), &data, |b, data| {
-            b.iter(|| {
-                let machine = Machine::new(EmConfig::new(1 << 12, 64));
-                let v = ExtVec::from_slice(&machine, data);
-                black_box(emalgo::oblivious_sort_by_key(&v, |x| *x).len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("multiway_mergesort", n),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let machine = Machine::new(EmConfig::new(1 << 12, 64));
+                    let v = ExtVec::from_slice(&machine, data);
+                    black_box(emalgo::external_sort_by_key(&v, |x| *x).len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("oblivious_mergesort", n),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let machine = Machine::new(EmConfig::new(1 << 12, 64));
+                    let v = ExtVec::from_slice(&machine, data);
+                    black_box(emalgo::oblivious_sort_by_key(&v, |x| *x).len())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -21,7 +21,9 @@ fn main() {
     let want = |name: &str| selected.as_deref().is_none_or(|s| s == name);
 
     println!("trienum experiment harness — reproducing the claims of");
-    println!("Pagh & Silvestri, \"The Input/Output Complexity of Triangle Enumeration\" (PODS 2014)");
+    println!(
+        "Pagh & Silvestri, \"The Input/Output Complexity of Triangle Enumeration\" (PODS 2014)"
+    );
     println!("(simulated external-memory machine; every I/O is an exact block-transfer count)");
 
     if want("e1") {
@@ -31,7 +33,10 @@ fn main() {
             &[4_000, 8_000, 16_000, 32_000]
         };
         let rows = experiment_e1(sizes, true);
-        println!("{}", render_table("E1: I/O scaling in E (ER graphs, M=4096, B=64)", &rows));
+        println!(
+            "{}",
+            render_table("E1: I/O scaling in E (ER graphs, M=4096, B=64)", &rows)
+        );
     }
     if want("e2") {
         let ratios: &[usize] = if quick { &[4, 16] } else { &[4, 8, 16, 32, 64] };
@@ -98,14 +103,20 @@ fn main() {
     if want("e7") {
         let sizes: &[usize] = if quick { &[4_000] } else { &[8_000, 16_000] };
         let rows = experiment_e7(sizes);
-        println!("{}", render_table("E7: work optimality (operations vs E^1.5)", &rows));
+        println!(
+            "{}",
+            render_table("E7: work optimality (operations vs E^1.5)", &rows)
+        );
     }
     if want("e8") {
         let (e, trials) = if quick { (4_000, 10) } else { (16_000, 30) };
         let rows = experiment_e8(e, trials);
         println!(
             "{}",
-            render_table("E8: Lemma 3 — E[X_xi] <= E*M over random 4-wise colourings", &rows)
+            render_table(
+                "E8: Lemma 3 — E[X_xi] <= E*M over random 4-wise colourings",
+                &rows
+            )
         );
     }
 }

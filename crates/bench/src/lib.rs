@@ -116,7 +116,10 @@ pub fn experiment_e1(sizes: &[usize], include_cubic: bool) -> Vec<Row> {
             rows.push(
                 Row::new(format!("E={e} {}", alg.name()))
                     .col("io", r.io.total() as f64)
-                    .col("io/own_bound", r.io.total() as f64 / alg.analytic_bound(cfg, e).max(1.0))
+                    .col(
+                        "io/own_bound",
+                        r.io.total() as f64 / alg.analytic_bound(cfg, e).max(1.0),
+                    )
                     .col("io/paper_bound", r.normalized_to_triangle_bound())
                     .col("triangles", r.triangles as f64),
             );
@@ -142,7 +145,10 @@ pub fn experiment_e2(e_over_m: &[usize]) -> Vec<Row> {
             Row::new(format!("E/M={ratio}"))
                 .col("aware_io", aware.io.total() as f64)
                 .col("hu_io", hu.io.total() as f64)
-                .col("measured_gain", hu.io.total() as f64 / aware.io.total() as f64)
+                .col(
+                    "measured_gain",
+                    hu.io.total() as f64 / aware.io.total() as f64,
+                )
                 .col("predicted_gain", predicted),
         );
     }
@@ -251,7 +257,12 @@ pub fn experiment_e6(groups: &[usize]) -> Vec<Row> {
             Algorithm::SortBased,
         ] {
             let r = run(&g, alg, cfg);
-            assert_eq!(r.triangles, expected, "join disagreement for {}", alg.name());
+            assert_eq!(
+                r.triangles,
+                expected,
+                "join disagreement for {}",
+                alg.name()
+            );
             rows.push(
                 Row::new(format!("groups={k} {}", alg.name()))
                     .col("edges", r.edges as f64)
@@ -322,14 +333,24 @@ mod tests {
     fn e2_reports_predicted_and_measured_gain() {
         let rows = experiment_e2(&[4]);
         assert_eq!(rows.len(), 1);
-        let predicted = rows[0].values.iter().find(|(n, _)| n == "predicted_gain").unwrap().1;
+        let predicted = rows[0]
+            .values
+            .iter()
+            .find(|(n, _)| n == "predicted_gain")
+            .unwrap()
+            .1;
         assert!((predicted - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn e8_mean_is_below_bound() {
         let rows = experiment_e8(3000, 4);
-        let mean_over_bound = rows[0].values.iter().find(|(n, _)| n == "mean/bound").unwrap().1;
+        let mean_over_bound = rows[0]
+            .values
+            .iter()
+            .find(|(n, _)| n == "mean/bound")
+            .unwrap()
+            .1;
         assert!(mean_over_bound < 3.0);
     }
 }

@@ -128,15 +128,24 @@ mod tests {
         let machine = Machine::new(EmConfig::new(1 << 10, 64));
         let clique = canonical_ext(&generators::clique(10), &machine);
         let mut sink = CollectingSink::new();
-        assert_eq!(sort_based_enumeration(&clique, SortKind::Aware, |_| true, &mut sink), 120);
+        assert_eq!(
+            sort_based_enumeration(&clique, SortKind::Aware, |_| true, &mut sink),
+            120
+        );
 
         let bip = canonical_ext(&generators::complete_bipartite(12, 12), &machine);
         let mut sink = CollectingSink::new();
-        assert_eq!(sort_based_enumeration(&bip, SortKind::Aware, |_| true, &mut sink), 0);
+        assert_eq!(
+            sort_based_enumeration(&bip, SortKind::Aware, |_| true, &mut sink),
+            0
+        );
 
         let tiny = canonical_ext(&generators::path(3), &machine);
         let mut sink = CollectingSink::new();
-        assert_eq!(sort_based_enumeration(&tiny, SortKind::Aware, |_| true, &mut sink), 0);
+        assert_eq!(
+            sort_based_enumeration(&tiny, SortKind::Aware, |_| true, &mut sink),
+            0
+        );
     }
 
     #[test]
@@ -163,6 +172,9 @@ mod tests {
         };
         let small = cost(16);
         let large = cost(32);
-        assert!(large > 4 * small, "expected superlinear growth: {small} -> {large}");
+        assert!(
+            large > 4 * small,
+            "expected superlinear growth: {small} -> {large}"
+        );
     }
 }

@@ -32,7 +32,9 @@ use crate::baselines::dementiev::sort_based_enumeration;
 use crate::input::ExtGraph;
 use crate::lemma1::enumerate_through_vertex;
 use crate::sink::TriangleSink;
-use crate::util::{degree_table, remove_incident_edges, scan_filter_edges, vertices_with_degree, SortKind};
+use crate::util::{
+    degree_table, remove_incident_edges, scan_filter_edges, vertices_with_degree, SortKind,
+};
 
 /// Subproblems of at most this many edges are finished with the base-case
 /// algorithm directly. A fixed constant — the cache-oblivious model forbids
@@ -117,7 +119,11 @@ fn compatible(e: &Edge, coloring: &RefinedColoring, target: ColorVector) -> bool
 
 /// Whether triangle `t` is proper for `target` under `coloring`.
 fn proper(t: &Triangle, coloring: &RefinedColoring, target: ColorVector) -> bool {
-    (coloring.color(t.a), coloring.color(t.b), coloring.color(t.c)) == target
+    (
+        coloring.color(t.a),
+        coloring.color(t.b),
+        coloring.color(t.c),
+    ) == target
 }
 
 fn solve(
@@ -151,8 +157,7 @@ fn solve(
     // ---- Step 1: local high-degree vertices. ----
     let e_here = edges.len();
     let degrees = degree_table(&edges, SortKind::Oblivious);
-    let mut high: Vec<VertexId> =
-        vertices_with_degree(&degrees, |d| 8 * d as usize >= e_here);
+    let mut high: Vec<VertexId> = vertices_with_degree(&degrees, |d| 8 * d as usize >= e_here);
     drop(degrees);
     high.sort_unstable();
     debug_assert!(high.len() <= 16, "more than 16 local high-degree vertices");

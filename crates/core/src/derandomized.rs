@@ -71,7 +71,11 @@ pub(crate) fn run_derandomized(
     let el = remove_incident_edges(graph.edges(), &high);
     let el_len = el.len() as f64;
 
-    let alpha = if levels == 0 { 0.0 } else { 1.0 / levels as f64 };
+    let alpha = if levels == 0 {
+        0.0
+    } else {
+        1.0 / levels as f64
+    };
     let mut coloring = RefinedColoring::identity();
     let mut chosen_potentials = Vec::new();
     let mut level_bounds = Vec::new();

@@ -97,7 +97,10 @@ mod tests {
         assert_eq!(eg.edge_count(), 800);
         assert_eq!(eg.vertex_count(), 200);
         let loaded = eg.edges().load_all();
-        assert!(loaded.windows(2).all(|w| w[0] < w[1]), "edges sorted and distinct");
+        assert!(
+            loaded.windows(2).all(|w| w[0] < w[1]),
+            "edges sorted and distinct"
+        );
         assert!(loaded.iter().all(|e| e.u < e.v), "edges canonical");
     }
 

@@ -185,6 +185,9 @@ mod tests {
         enumerate_through_vertex(eg.edges(), 5, SortKind::Aware, |_| true, &mut sink);
         let cost = machine.io().total() - before;
         let bound = machine.config().sort_cost(eg.edge_count());
-        assert!(cost <= 8 * bound, "Lemma 1 cost {cost} should be O(sort(E)) = O({bound})");
+        assert!(
+            cost <= 8 * bound,
+            "Lemma 1 cost {cost} should be O(sort(E)) = O({bound})"
+        );
     }
 }

@@ -72,10 +72,10 @@ pub(crate) fn enumerate_with_pivots(
         let mut gamma_v: Vec<VertexId> = Vec::new();
 
         let process_group = |v: VertexId,
-                                 gamma_v: &mut Vec<VertexId>,
-                                 emitted: &mut u64,
-                                 filter: &mut dyn FnMut(Triangle) -> bool,
-                                 sink: &mut dyn TriangleSink| {
+                             gamma_v: &mut Vec<VertexId>,
+                             emitted: &mut u64,
+                             filter: &mut dyn FnMut(Triangle) -> bool,
+                             sink: &mut dyn TriangleSink| {
             if gamma_v.len() < 2 {
                 gamma_v.clear();
                 return;
@@ -158,12 +158,7 @@ mod tests {
         // Use only pivot edges incident to vertex 7 (the largest): the pivot
         // of a triangle is the edge between its two largest vertices, so we
         // must get exactly the triangles containing vertex 7: C(7,2) = 21.
-        let pivots_vec: Vec<Edge> = g
-            .edges()
-            .iter()
-            .copied()
-            .filter(|e| e.v == 7)
-            .collect();
+        let pivots_vec: Vec<Edge> = g.edges().iter().copied().filter(|e| e.v == 7).collect();
         let pivots = ExtVec::from_slice(&machine, &pivots_vec);
         let mut sink = CollectingSink::new();
         let n = enumerate_with_pivots(&edges, &pivots, 1 << 10, |_| true, &mut sink);
@@ -236,7 +231,10 @@ mod tests {
         let machine = Machine::new(EmConfig::new(512, 64));
         let edges = canonical_ext(&g, &machine);
         let mut sink = CollectingSink::new();
-        assert_eq!(enumerate_with_pivots(&edges, &edges, 512, |_| true, &mut sink), 0);
+        assert_eq!(
+            enumerate_with_pivots(&edges, &edges, 512, |_| true, &mut sink),
+            0
+        );
         assert!(sink.is_empty());
     }
 }

@@ -202,7 +202,10 @@ pub fn enumerate_triangles(
                 );
                 extra.push(("colors".into(), out.colors as f64));
                 extra.push(("x_statistic".into(), out.x_statistic as f64));
-                extra.push(("high_degree_vertices".into(), out.high_degree_vertices as f64));
+                extra.push((
+                    "high_degree_vertices".into(),
+                    out.high_degree_vertices as f64,
+                ));
                 out.triangles
             }
             Algorithm::DeterministicCacheAware {

@@ -111,7 +111,10 @@ mod tests {
             let t = clique_triangles(k);
             let witnessed = max_triangles_with_edges(m);
             assert!(witnessed >= t, "k={k}: {witnessed} < {t}");
-            assert!(witnessed <= t + k * k, "k={k}: bound too loose ({witnessed} vs {t})");
+            assert!(
+                witnessed <= t + k * k,
+                "k={k}: bound too loose ({witnessed} vs {t})"
+            );
         }
     }
 

@@ -104,7 +104,7 @@ impl ColorPartition {
             for (idx, &(pos, end)) in cursors.iter().enumerate() {
                 if pos < end {
                     let e = self.edges.get(pos);
-                    if best.map_or(true, |(_, be)| e < be) {
+                    if best.is_none_or(|(_, be)| e < be) {
                         best = Some((idx, e));
                     }
                 }
@@ -176,7 +176,9 @@ mod tests {
     #[test]
     fn union_is_sorted_and_deduplicated() {
         let (_m, _el, part, _col) = setup(3, 5);
-        let u = part.union_sorted(&[(0, 1), (1, 2), (0, 1), (0, 2)]).load_all();
+        let u = part
+            .union_sorted(&[(0, 1), (1, 2), (0, 1), (0, 2)])
+            .load_all();
         assert!(u.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
         let expected = part.class_len(0, 1) + part.class_len(1, 2) + part.class_len(0, 2);
         assert_eq!(u.len(), expected);
@@ -187,7 +189,9 @@ mod tests {
         let (_m, el, part, coloring) = setup(4, 9);
         let mut counts = std::collections::HashMap::new();
         for e in el.load_all() {
-            *counts.entry((coloring.color(e.u), coloring.color(e.v))).or_insert(0u128) += 1;
+            *counts
+                .entry((coloring.color(e.u), coloring.color(e.v)))
+                .or_insert(0u128) += 1;
         }
         let expected: u128 = counts.values().map(|&n| n * (n - 1) / 2).sum();
         assert_eq!(part.x_statistic(), expected);

@@ -73,9 +73,8 @@ pub(crate) fn evaluate_candidates(
     let parent_colors = 1u64 << parent.depth();
     // Parent colours are in [1, 2^depth]; class id of edge (u,v) is
     // (ξ(u)-1)·2^depth + (ξ(v)-1).
-    let class_of = |e: &Edge| -> u64 {
-        (parent.color(e.u) - 1) * parent_colors + (parent.color(e.v) - 1)
-    };
+    let class_of =
+        |e: &Edge| -> u64 { (parent.color(e.u) - 1) * parent_colors + (parent.color(e.v) - 1) };
 
     let mut x_total = vec![0u128; t];
     let mut x_adj = vec![0u128; t];
@@ -153,7 +152,11 @@ pub(crate) fn evaluate_candidates(
                 let bx = u64::from(family.eval(j, vertex as u64));
                 let bo = u64::from(family.eval(j, other as u64));
                 // Ordered (smaller endpoint, larger endpoint) bit pair.
-                let idx = if vertex < other { bx * 2 + bo } else { bo * 2 + bx };
+                let idx = if vertex < other {
+                    bx * 2 + bo
+                } else {
+                    bo * 2 + bx
+                };
                 cs[idx as usize] += 1;
             }
         }
@@ -168,10 +171,7 @@ pub(crate) fn evaluate_candidates(
 /// Reference (in-core) computation of the same statistics for one concrete
 /// refinement — used by the unit tests to validate `evaluate_candidates`.
 #[cfg(test)]
-pub(crate) fn reference_statistics(
-    edges: &[Edge],
-    color: impl Fn(u32) -> u64,
-) -> (u128, u128) {
+pub(crate) fn reference_statistics(edges: &[Edge], color: impl Fn(u32) -> u64) -> (u128, u128) {
     use std::collections::HashMap;
     let mut class_sizes: HashMap<(u64, u64), u64> = HashMap::new();
     let mut vertex_class: HashMap<(u32, (u64, u64)), u64> = HashMap::new();
@@ -219,9 +219,7 @@ mod tests {
             let refined_color = |v: u32| -> u64 {
                 2 * parent.color(v) - u64::from(fam.function(j).eval_bit(v as u64))
             };
-            let (x_total, x_adj) =
-                reference_statistics(&edges, |v| refined_color(v))
-                    .into();
+            let (x_total, x_adj) = reference_statistics(&edges, refined_color);
             assert_eq!(eval.x_total[j], x_total, "candidate {j} x_total");
             assert_eq!(eval.x_adj[j], x_adj, "candidate {j} x_adj");
             assert!(eval.x_nonadj(j) <= eval.x_total[j]);

@@ -131,6 +131,11 @@ impl StrictSink {
     pub fn len(&self) -> usize {
         self.seen.len()
     }
+
+    /// Whether no triangle has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
 }
 
 impl TriangleSink for StrictSink {

@@ -180,10 +180,22 @@ mod tests {
     #[test]
     fn phase_recorder_attributes_deltas() {
         let mut rec = PhaseRecorder::new();
-        let a = IoStats { reads: 10, writes: 5 };
-        let b = IoStats { reads: 30, writes: 9 };
+        let a = IoStats {
+            reads: 10,
+            writes: 5,
+        };
+        let b = IoStats {
+            reads: 30,
+            writes: 9,
+        };
         rec.record("x", a, b);
         let phases = rec.into_phases();
-        assert_eq!(phases[0].1, IoStats { reads: 20, writes: 4 });
+        assert_eq!(
+            phases[0].1,
+            IoStats {
+                reads: 20,
+                writes: 4
+            }
+        );
     }
 }

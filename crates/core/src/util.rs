@@ -123,7 +123,10 @@ mod tests {
         let machine = Machine::new(EmConfig::new(1 << 10, 64));
         let v = ExtVec::from_slice(
             &machine,
-            &edges.iter().map(|&(a, b)| Edge::new(a, b)).collect::<Vec<_>>(),
+            &edges
+                .iter()
+                .map(|&(a, b)| Edge::new(a, b))
+                .collect::<Vec<_>>(),
         );
         (machine, v)
     }
@@ -174,6 +177,9 @@ mod tests {
     #[test]
     fn remove_with_empty_forbidden_is_identity() {
         let (_m, edges) = load(&[(0, 1), (1, 2)]);
-        assert_eq!(remove_incident_edges(&edges, &[]).load_all(), edges.load_all());
+        assert_eq!(
+            remove_incident_edges(&edges, &[]).load_all(),
+            edges.load_all()
+        );
     }
 }

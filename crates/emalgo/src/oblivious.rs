@@ -106,7 +106,10 @@ mod tests {
         let one = ExtVec::from_slice(&m, &[9u64]);
         assert_eq!(oblivious_sort_by_key(&one, |x| *x).load_all(), vec![9]);
         let dup = ExtVec::from_slice(&m, &[3u64, 3, 3, 1, 1]);
-        assert_eq!(oblivious_sort_by_key(&dup, |x| *x).load_all(), vec![1, 1, 3, 3, 3]);
+        assert_eq!(
+            oblivious_sort_by_key(&dup, |x| *x).load_all(),
+            vec![1, 1, 3, 3, 3]
+        );
     }
 
     #[test]

@@ -47,7 +47,9 @@ where
 
     // Items per in-memory run: fill the memory budget, but always at least
     // one block's worth so tiny configurations still work.
-    let items_per_run = (cfg.mem_words / T::WORDS).max(cfg.block_words / T::WORDS).max(1);
+    let items_per_run = (cfg.mem_words / T::WORDS)
+        .max(cfg.block_words / T::WORDS)
+        .max(1);
 
     if n <= items_per_run {
         // The whole input fits in the memory budget: one in-core sort.
@@ -238,7 +240,10 @@ mod tests {
         // Constant-factor agreement: the measured cost is within a small
         // multiple of the analytic bound (read+write per pass gives ~4x).
         assert!(cost <= 6 * bound, "cost {cost} vs bound {bound}");
-        assert!(cost >= bound / 4, "cost {cost} suspiciously below bound {bound}");
+        assert!(
+            cost >= bound / 4,
+            "cost {cost} suspiciously below bound {bound}"
+        );
     }
 
     #[test]

@@ -84,7 +84,11 @@ impl<T: Record> ExtVec<T> {
     ///
     /// Panics if `idx >= len()`.
     pub fn get(&self, idx: usize) -> T {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         let mut buf = [0u64; 4];
         let base = idx * T::WORDS;
         for (k, slot) in buf[..T::WORDS].iter_mut().enumerate() {
@@ -99,7 +103,11 @@ impl<T: Record> ExtVec<T> {
     ///
     /// Panics if `idx >= len()`.
     pub fn set(&mut self, idx: usize, value: T) {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         let mut buf = [0u64; 4];
         value.encode(&mut buf[..T::WORDS]);
         let base = idx * T::WORDS;
@@ -123,7 +131,8 @@ impl<T: Record> ExtVec<T> {
     /// Shortens the array to `new_len` elements (no-op if already shorter).
     pub fn truncate(&mut self, new_len: usize) {
         if new_len < self.len {
-            self.machine.truncate_segment(self.segment, new_len * T::WORDS);
+            self.machine
+                .truncate_segment(self.segment, new_len * T::WORDS);
             self.len = new_len;
         }
     }
@@ -140,7 +149,11 @@ impl<T: Record> ExtVec<T> {
 
     /// A sequential reader over elements `[start, end)`.
     pub fn range(&self, start: usize, end: usize) -> ScanReader<'_, T> {
-        assert!(start <= end && end <= self.len, "invalid range {start}..{end} (len {})", self.len);
+        assert!(
+            start <= end && end <= self.len,
+            "invalid range {start}..{end} (len {})",
+            self.len
+        );
         ScanReader {
             vec: self,
             pos: start,
@@ -314,7 +327,10 @@ mod tests {
         let sum: u64 = v.iter().sum();
         assert_eq!(sum, (n as u64 - 1) * n as u64 / 2);
         let reads = m.io().reads - before.reads;
-        assert_eq!(reads, 100, "scan of 100 blocks must read exactly 100 blocks");
+        assert_eq!(
+            reads, 100,
+            "scan of 100 blocks must read exactly 100 blocks"
+        );
     }
 
     #[test]

@@ -210,7 +210,10 @@ impl Machine {
                     appended = true;
                 }
                 std::cmp::Ordering::Greater => {
-                    panic!("write past end of segment: idx {idx}, len {}", segment.words.len())
+                    panic!(
+                        "write past end of segment: idx {idx}, len {}",
+                        segment.words.len()
+                    )
                 }
             }
         }

@@ -64,7 +64,10 @@ impl Record for (u32, u32) {
     }
 
     fn decode(words: &[u64]) -> Self {
-        (((words[0] >> 32) & 0xffff_ffff) as u32, (words[0] & 0xffff_ffff) as u32)
+        (
+            ((words[0] >> 32) & 0xffff_ffff) as u32,
+            (words[0] & 0xffff_ffff) as u32,
+        )
     }
 }
 

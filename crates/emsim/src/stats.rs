@@ -108,7 +108,13 @@ mod tests {
             writes: 9,
         };
         assert_eq!(a.total(), 14);
-        assert_eq!(b.since(a), IoStats { reads: 15, writes: 5 });
+        assert_eq!(
+            b.since(a),
+            IoStats {
+                reads: 15,
+                writes: 5
+            }
+        );
         assert_eq!((a + b).total(), 48);
         let mut c = a;
         c += b;
@@ -117,7 +123,10 @@ mod tests {
 
     #[test]
     fn display_is_human_readable() {
-        let a = IoStats { reads: 3, writes: 2 };
+        let a = IoStats {
+            reads: 3,
+            writes: 2,
+        };
         assert_eq!(format!("{a}"), "5 I/Os (3 reads, 2 writes)");
     }
 

@@ -167,7 +167,9 @@ pub fn chung_lu_power_law(n: usize, m: usize, gamma: f64, seed: u64) -> Graph {
     assert!(gamma > 1.0, "power-law exponent must exceed 1");
     let mut rng = StdRng::seed_from_u64(seed);
     // Expected-degree weights w_i ∝ (i+1)^{-1/(gamma-1)}.
-    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-1.0 / (gamma - 1.0))).collect();
+    let weights: Vec<f64> = (0..n)
+        .map(|i| ((i + 1) as f64).powf(-1.0 / (gamma - 1.0)))
+        .collect();
     let total: f64 = weights.iter().sum();
     // Cumulative distribution for weighted vertex sampling.
     let mut cdf = Vec::with_capacity(n);

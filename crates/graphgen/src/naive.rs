@@ -144,7 +144,10 @@ mod tests {
         assert_eq!((c1, s1), (c2, s2));
         let g2 = generators::erdos_renyi(40, 200, 6);
         let (c3, s3) = triangle_checksum(&g2);
-        assert!(c1 != c3 || s1 != s3, "different graphs should differ in checksum");
+        assert!(
+            c1 != c3 || s1 != s3,
+            "different graphs should differ in checksum"
+        );
     }
 
     #[test]

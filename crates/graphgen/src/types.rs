@@ -349,7 +349,12 @@ mod tests {
     fn degrees_and_max_degree() {
         let g = Graph::from_edges(
             5,
-            vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(0, 3), Edge::new(1, 2)],
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 2),
+                Edge::new(0, 3),
+                Edge::new(1, 2),
+            ],
         );
         assert_eq!(g.degrees(), vec![3, 2, 2, 1, 0]);
         assert_eq!(g.max_degree(), 3);
@@ -388,7 +393,12 @@ mod tests {
     fn degree_ordering_is_a_permutation() {
         let g = Graph::from_edges(
             4,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(0, 3)],
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 3),
+                Edge::new(0, 3),
+            ],
         );
         let (_, back) = g.degree_ordered();
         let mut sorted = back.clone();

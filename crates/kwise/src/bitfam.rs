@@ -25,7 +25,12 @@ impl BitFunctionFamily {
     pub fn new(count: usize, seed: u64) -> Self {
         assert!(count > 0, "family must contain at least one function");
         let funcs = (0..count)
-            .map(|j| FourWise::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(j as u64)))
+            .map(|j| {
+                FourWise::new(
+                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(j as u64),
+                )
+            })
             .collect();
         Self { funcs }
     }
@@ -89,7 +94,10 @@ mod tests {
         let fam = BitFunctionFamily::new(8, 77);
         for j in 0..fam.len() {
             let ones = (0..2000u64).filter(|&v| fam.eval(j, v)).count();
-            assert!((700..=1300).contains(&ones), "candidate {j} is too skewed: {ones}");
+            assert!(
+                (700..=1300).contains(&ones),
+                "candidate {j} is too skewed: {ones}"
+            );
         }
     }
 

@@ -123,7 +123,10 @@ mod tests {
         }
         let mean = n as f64 / c as f64;
         for (_, cnt) in counts {
-            assert!((cnt as f64 - mean).abs() < 0.15 * mean, "bucket count {cnt} vs mean {mean}");
+            assert!(
+                (cnt as f64 - mean).abs() < 0.15 * mean,
+                "bucket count {cnt} vs mean {mean}"
+            );
         }
     }
 
@@ -141,7 +144,10 @@ mod tests {
             }
         }
         let p = collisions as f64 / trials as f64;
-        assert!((p - 1.0 / c as f64).abs() < 0.03, "empirical collision prob {p}");
+        assert!(
+            (p - 1.0 / c as f64).abs() < 0.03,
+            "empirical collision prob {p}"
+        );
     }
 
     #[test]

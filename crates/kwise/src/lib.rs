@@ -49,8 +49,12 @@ mod tests {
         refined.push(fam.function(5));
         // Refining twice quadruples the number of distinct colours reachable
         // from a single base colour.
-        let colors: std::collections::HashSet<u64> =
-            (0..1000u32).map(|v| refined.color_of(base.color(v) as u64 + 1, v)).collect();
-        assert!(colors.len() > 4, "refinement must produce more colour values");
+        let colors: std::collections::HashSet<u64> = (0..1000u32)
+            .map(|v| refined.color_of(base.color(v) + 1, v))
+            .collect();
+        assert!(
+            colors.len() > 4,
+            "refinement must produce more colour values"
+        );
     }
 }

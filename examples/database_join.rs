@@ -17,8 +17,7 @@ fn main() {
     // groups" sells every product of a brand set to a salesperson set — the
     // situation in which 5NF decomposition loses nothing and the original
     // relation is exactly the set of triangles.
-    let (graph, brand_base, type_base) =
-        generators::sells_join(400, 60, 120, 80, 6, 2024);
+    let (graph, brand_base, type_base) = generators::sells_join(400, 60, 120, 80, 6, 2024);
     println!(
         "decomposed tables as a graph: V = {}, E = {}",
         graph.vertex_count(),

@@ -58,7 +58,10 @@ fn main() {
 
     // Global transitivity = 3·triangles / #wedges.
     let degrees = graph.degrees();
-    let wedges: u64 = degrees.iter().map(|&d| (d as u64) * (d as u64).saturating_sub(1) / 2).sum();
+    let wedges: u64 = degrees
+        .iter()
+        .map(|&d| (d as u64) * (d as u64).saturating_sub(1) / 2)
+        .sum();
     println!(
         "global transitivity: {:.4}  (3*{} / {} wedges)",
         3.0 * total as f64 / wedges.max(1) as f64,

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of criterion's API the `trienum-bench` targets use:
+//! groups with `sample_size` / `warm_up_time` / `measurement_time`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is plain
+//! `std::time::Instant` with a warm-up phase and a measurement budget; each
+//! benchmark prints its mean and best iteration time.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    /// When true (set by `--test`, as `cargo test --benches` passes), run
+    /// each benchmark body exactly once instead of timing it.
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test` → smoke mode; everything
+    /// else, e.g. cargo's `--bench` flag or a name filter, is ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            test_mode: self.test_mode,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifier `function-name/parameter` for a parameterised benchmark.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and the parameter being swept.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            full: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+    // Tie the group to the `Criterion` borrow like the real API does.
+    #[allow(dead_code)]
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+// Separate constructor site needs the marker default; spelled out here so the
+// struct literal in `benchmark_group` stays short.
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to run the body untimed before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Upper bound on total measured time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.full, &mut |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed `input` under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.full, &mut |b| f(b, input));
+        self
+    }
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        if self.test_mode {
+            let mut b = Bencher {
+                once: true,
+                times: Vec::new(),
+            };
+            f(&mut b);
+            println!("{label}: ok (test mode)");
+            return;
+        }
+        // Warm-up: run the body until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let mut b = Bencher {
+                once: true,
+                times: Vec::new(),
+            };
+            f(&mut b);
+        }
+        // Measurement: `sample_size` samples or until the budget runs out.
+        let mut times: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let meas_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                once: false,
+                times: Vec::new(),
+            };
+            f(&mut b);
+            times.extend(b.times);
+            if meas_start.elapsed() > self.measurement {
+                break;
+            }
+        }
+        if times.is_empty() {
+            println!("{label}: no samples collected");
+            return;
+        }
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        let best = times.iter().min().copied().unwrap_or_default();
+        println!(
+            "{label}: mean {} / best {} over {} samples",
+            fmt_duration(mean),
+            fmt_duration(best),
+            times.len()
+        );
+    }
+
+    /// Ends the group (prints nothing; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Timer handle passed to each benchmark body.
+pub struct Bencher {
+    once: bool,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (or runs it untimed in warm-up /
+    /// test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.once {
+            black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        black_box(routine());
+        self.times.push(start.elapsed());
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(10));
+        let mut runs = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_param() {
+        let id = BenchmarkId::new("alg", 4096);
+        assert_eq!(id.full, "alg/4096");
+    }
+}

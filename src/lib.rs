@@ -1,0 +1,6 @@
+//! The `trienum-suite` root package exists only to host the workspace's
+//! cross-crate integration tests (`tests/`) and runnable examples
+//! (`examples/`). All library code lives in the member crates:
+//! [`trienum`](../trienum), `emsim`, `emalgo`, `graphgen`, and `kwise`.
+
+#![forbid(unsafe_code)]

@@ -18,9 +18,19 @@ fn check_exact(graph: &Graph, cfg: EmConfig, alg: Algorithm, label: &str) {
         alg.name()
     );
     let got: std::collections::HashSet<Triangle> = emitted.iter().copied().collect();
-    assert_eq!(got.len(), emitted.len(), "{label}/{}: duplicate emissions", alg.name());
+    assert_eq!(
+        got.len(),
+        emitted.len(),
+        "{label}/{}: duplicate emissions",
+        alg.name()
+    );
     assert_eq!(got, expected, "{label}/{}: wrong triangle set", alg.name());
-    assert_eq!(report.triangles, expected.len() as u64, "{label}/{}", alg.name());
+    assert_eq!(
+        report.triangles,
+        expected.len() as u64,
+        "{label}/{}",
+        alg.name()
+    );
 }
 
 #[test]

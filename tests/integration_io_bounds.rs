@@ -71,7 +71,10 @@ fn improvement_over_hu_tao_chung_grows_with_e_over_m() {
         large > small,
         "advantage over Hu et al. should grow with E/M (E=3k: {small:.2}x, E=12k: {large:.2}x)"
     );
-    assert!(large > 1.0, "at E/M = 48 the paper's algorithm must win (got {large:.2}x)");
+    assert!(
+        large > 1.0,
+        "at E/M = 48 the paper's algorithm must win (got {large:.2}x)"
+    );
 }
 
 #[test]
@@ -92,7 +95,11 @@ fn optimality_ratio_on_cliques_is_a_bounded_constant() {
         };
         let small = ratio_for(30);
         let large = ratio_for(60);
-        assert!(small >= 1.0, "{}: beat the lower bound?! ratio {small}", alg.name());
+        assert!(
+            small >= 1.0,
+            "{}: beat the lower bound?! ratio {small}",
+            alg.name()
+        );
         assert!(
             large < 700.0,
             "{}: measured/lower-bound ratio {large:.1} unexpectedly large",
@@ -117,8 +124,14 @@ fn cache_oblivious_adapts_to_memory_without_retuning() {
     let tiny = io_at(1 << 8);
     let small = io_at(1 << 10);
     let large = io_at(1 << 13);
-    assert!(small < tiny, "more memory must not increase I/Os ({tiny} -> {small})");
-    assert!(large < small, "more memory must not increase I/Os ({small} -> {large})");
+    assert!(
+        small < tiny,
+        "more memory must not increase I/Os ({tiny} -> {small})"
+    );
+    assert!(
+        large < small,
+        "more memory must not increase I/Os ({small} -> {large})"
+    );
     assert!(
         (large as f64) < 0.5 * tiny as f64,
         "32x memory should at least halve the I/Os ({tiny} -> {large})"
@@ -202,7 +215,10 @@ fn derandomized_coloring_quality_meets_its_guarantee() {
     );
     let x = report.extra("x_statistic").expect("x_statistic reported");
     let bound = std::f64::consts::E * 9_000.0 * cfg.mem_words as f64;
-    assert!(x <= bound, "X_xi = {x} exceeds the derandomization guarantee e*E*M = {bound}");
+    assert!(
+        x <= bound,
+        "X_xi = {x} exceeds the derandomization guarantee e*E*M = {bound}"
+    );
 }
 
 #[test]

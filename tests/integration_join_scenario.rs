@@ -44,7 +44,10 @@ fn reference_join(
 fn triangle_enumeration_computes_the_three_way_join() {
     let (graph, brand_base, type_base) = generators::sells_join(60, 20, 30, 12, 4, 7);
     let expected = reference_join(&graph, brand_base, type_base);
-    assert!(!expected.is_empty(), "the scenario should produce join rows");
+    assert!(
+        !expected.is_empty(),
+        "the scenario should produce join rows"
+    );
 
     let cfg = EmConfig::new(512, 32);
     for alg in [
@@ -74,8 +77,7 @@ fn join_rows_are_closed_under_the_group_structure() {
     // edge of the decomposed tables (no spurious rows), which is exactly the
     // losslessness of the 5NF decomposition.
     let (graph, brand_base, type_base) = generators::sells_join(40, 15, 25, 8, 5, 21);
-    let edges: std::collections::HashSet<graphgen::Edge> =
-        graph.edges().iter().copied().collect();
+    let edges: std::collections::HashSet<graphgen::Edge> = graph.edges().iter().copied().collect();
 
     let cfg = EmConfig::new(256, 32);
     let mut sink = CollectingSink::new();
@@ -88,7 +90,10 @@ fn join_rows_are_closed_under_the_group_structure() {
     for t in sink.triangles() {
         let _ = decode(t, brand_base, type_base); // panics if not one per column
         for e in t.edges() {
-            assert!(edges.contains(&e), "row {t:?} uses a non-existent pair {e:?}");
+            assert!(
+                edges.contains(&e),
+                "row {t:?} uses a non-existent pair {e:?}"
+            );
         }
     }
 }
@@ -101,7 +106,10 @@ fn pipelined_consumption_requires_no_materialisation() {
     let cfg = EmConfig::new(1 << 10, 64);
     let (rows, report) =
         trienum::count_triangles(&graph, Algorithm::CacheAwareRandomized { seed: 9 }, cfg);
-    assert!(rows > 1_000, "expected a reasonably large join ({rows} rows)");
+    assert!(
+        rows > 1_000,
+        "expected a reasonably large join ({rows} rows)"
+    );
     // Writes come from the colour partitioning (O(c·E/B) blocks), never from
     // the output rows; allow a generous constant on the input-side term.
     // (The sharper "writes < t/B" check, on an input where t really dwarfs E,

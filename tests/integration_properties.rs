@@ -11,17 +11,15 @@ use trienum::{count_triangles, enumerate_triangles, Algorithm, CollectingSink};
 /// Strategy: a random simple graph with up to `max_v` vertices and `max_e`
 /// candidate edges (duplicates removed by `Graph::from_edges`).
 fn arb_graph(max_v: u32, max_e: usize) -> impl Strategy<Value = Graph> {
-    (2..max_v)
-        .prop_flat_map(move |v| {
-            prop::collection::vec((0..v, 0..v), 0..max_e)
-                .prop_map(move |pairs| {
-                    let edges = pairs
-                        .into_iter()
-                        .filter(|(a, b)| a != b)
-                        .map(|(a, b)| Edge::new(a, b));
-                    Graph::from_edges(v as usize, edges)
-                })
+    (2..max_v).prop_flat_map(move |v| {
+        prop::collection::vec((0..v, 0..v), 0..max_e).prop_map(move |pairs| {
+            let edges = pairs
+                .into_iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| Edge::new(a, b));
+            Graph::from_edges(v as usize, edges)
         })
+    })
 }
 
 proptest! {
@@ -140,8 +138,16 @@ proptest! {
 // (hubs, ties in the degree order, isolated vertices).
 #[test]
 fn regression_corpus() {
-    let corpus = vec![
-        Graph::from_edges(6, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 0), Edge::new(3, 4)]),
+    let corpus = [
+        Graph::from_edges(
+            6,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 0),
+                Edge::new(3, 4),
+            ],
+        ),
         Graph::from_edges(
             8,
             vec![

@@ -1,0 +1,36 @@
+//! Fast smoke test: every `Algorithm` variant returns the identical triangle
+//! count on a fixed seeded graph, and that count matches the in-memory
+//! oracle. This is the first thing to look at when a change breaks one of
+//! the six implementations — it runs in well under a second.
+
+use emsim::EmConfig;
+use graphgen::{generators, naive};
+use trienum::{count_triangles, ALL_ALGORITHMS};
+
+#[test]
+fn all_algorithms_agree_on_fixed_seeded_graph() {
+    let g = generators::erdos_renyi(150, 900, 0xBEEF);
+    let expected = naive::count_triangles(&g);
+    assert!(expected > 0, "smoke graph should contain triangles");
+    let cfg = EmConfig::new(512, 32);
+    for alg in ALL_ALGORITHMS {
+        let (got, report) = count_triangles(&g, alg, cfg);
+        assert_eq!(
+            got,
+            expected,
+            "{} disagrees with the oracle ({got} vs {expected})",
+            alg.name()
+        );
+        assert_eq!(report.triangles, expected, "{} report count", alg.name());
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_triangle_free_graph() {
+    let g = generators::complete_bipartite(20, 20);
+    let cfg = EmConfig::new(512, 32);
+    for alg in ALL_ALGORITHMS {
+        let (got, _) = count_triangles(&g, alg, cfg);
+        assert_eq!(got, 0, "{} found triangles in K_20,20", alg.name());
+    }
+}
