@@ -107,6 +107,19 @@ fn main() {
             "{}",
             render_table("E7: work optimality (operations vs E^1.5)", &rows)
         );
+        // Work-budget gate (wired into CI through the --quick smoke run):
+        // fail loudly if the cache-oblivious path regresses toward its old
+        // ~52x constant.
+        match check_e7_work_budget(&rows) {
+            Ok(()) => println!(
+                "work-budget gate: cache-oblivious work/E^1.5 within ceiling \
+                 {CACHE_OBLIVIOUS_WORK_CEILING}"
+            ),
+            Err(msg) => {
+                eprintln!("work-budget gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
     if want("e8") {
         let (e, trials) = if quick { (4_000, 10) } else { (16_000, 30) };

@@ -294,6 +294,41 @@ pub fn experiment_e7(sizes: &[usize]) -> Vec<Row> {
     rows
 }
 
+/// Work-budget ceiling for the cache-oblivious algorithm: `reproduce` fails
+/// (and CI with it) if any E7 row reports `work/E^{1.5}` above this value.
+///
+/// Recorded 2026-07-30 after the single-pass child-partitioning rewrite:
+/// measured ratios are ≈ 10.3 at `E = 4000` (the `--quick` size), 9.75 at
+/// `E = 8000` and 7.60 at `E = 16000` — the ratio falls with `E`. The
+/// pre-rewrite implementation sat at ≈ 52.7, so a regression back to
+/// per-child filter scans or per-node degree sorts trips the gate
+/// immediately while leaving honest noise plenty of headroom.
+pub const CACHE_OBLIVIOUS_WORK_CEILING: f64 = 12.0;
+
+/// Checks an E7 table against [`CACHE_OBLIVIOUS_WORK_CEILING`]; returns a
+/// description of the first offending row, if any.
+pub fn check_e7_work_budget(rows: &[Row]) -> Result<(), String> {
+    for row in rows {
+        if !row.label.contains("cache-oblivious") {
+            continue;
+        }
+        let ratio = row
+            .values
+            .iter()
+            .find(|(name, _)| name == "work/E^1.5")
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("row '{}' lacks a work/E^1.5 column", row.label))?;
+        if ratio > CACHE_OBLIVIOUS_WORK_CEILING {
+            return Err(format!(
+                "row '{}': work/E^1.5 = {ratio:.2} exceeds the recorded ceiling \
+                 {CACHE_OBLIVIOUS_WORK_CEILING}",
+                row.label
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// **E8 — concentration of the colouring.** Monte-Carlo check of Lemma 3
 /// (`E[X_ξ] ≤ E·M`) over many random 4-wise colourings.
 pub fn experiment_e8(e: usize, trials: u64) -> Vec<Row> {
@@ -340,6 +375,22 @@ mod tests {
             .unwrap()
             .1;
         assert!((predicted - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_budget_gate_passes_current_code_and_catches_regressions() {
+        let rows = experiment_e7(&[4000]);
+        check_e7_work_budget(&rows).expect("current implementation must satisfy the ceiling");
+
+        let bad = vec![Row::new("E=4000 cache-oblivious")
+            .col("work_ops", 1e9)
+            .col("E^1.5", 2.53e5)
+            .col("work/E^1.5", 52.66)];
+        let err = check_e7_work_budget(&bad).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+
+        let unrelated = vec![Row::new("E=4000 hu-tao-chung").col("work/E^1.5", 1e9)];
+        check_e7_work_budget(&unrelated).expect("gate only watches the cache-oblivious rows");
     }
 
     #[test]

@@ -24,7 +24,11 @@ use crate::lemma2::enumerate_with_pivots;
 use crate::partition::ColorPartition;
 use crate::sink::TriangleSink;
 use crate::stats::PhaseRecorder;
-use crate::util::{degree_table, remove_incident_edges, vertices_with_degree, SortKind};
+use crate::util::{
+    degree_table, isqrt_u128, remove_incident_edges, vertices_with_degree, SortKind,
+};
+
+use emsim::ExtVec;
 
 /// Result of a cache-aware (randomized or derandomized) run, before being
 /// wrapped into the public [`crate::RunReport`].
@@ -49,14 +53,46 @@ pub(crate) fn run_cache_aware_randomized(
     run_colored(graph, cfg, c, &|v| coloring.color(v), sink, recorder)
 }
 
-/// The number of colours `c = ⌈√(E/M)⌉` (at least 1).
+/// The number of colours `c = ⌈√(E/M)⌉` (at least 1), computed exactly in
+/// integers: the smallest `c` with `c²·M ≥ E`. (`f64::sqrt` on the rational
+/// `E/M` mis-rounds near perfect squares once `E` is large; the exact value
+/// matters because `c` sizes the `c³` colour-triple loop.)
 pub(crate) fn number_of_colors(edges: usize, mem_words: usize) -> u64 {
-    (((edges as f64) / (mem_words as f64)).sqrt().ceil() as u64).max(1)
+    let e = edges as u128;
+    let m = (mem_words as u128).max(1);
+    let mut c = isqrt_u128(e.div_ceil(m)).max(1);
+    while c * c * m < e {
+        c += 1;
+    }
+    while c > 1 && (c - 1) * (c - 1) * m >= e {
+        c -= 1;
+    }
+    c as u64
 }
 
-/// The high-degree threshold `√(E·M)`.
+/// The high-degree threshold `⌊√(E·M)⌋`, exact in integers (`E·M` exceeds
+/// the 2⁵³ precision of `f64` long before it exceeds a word).
 pub(crate) fn high_degree_threshold(edges: usize, mem_words: usize) -> u32 {
-    ((edges as f64 * mem_words as f64).sqrt().floor() as u64).min(u64::from(u32::MAX)) as u32
+    let prod = edges as u128 * mem_words as u128;
+    isqrt_u128(prod).min(u128::from(u32::MAX)) as u32
+}
+
+/// The shared Step-1/Step-2 scaffolding of the cache-aware algorithms:
+/// computes the Lemma 1 threshold `⌊√(E·M)⌋`, the degree table, the
+/// high-degree vertex set `V_h` (ascending by id) and the low-degree edge
+/// set `E_l = E \ E(V_h)`. Used by [`run_colored`], the derandomized greedy
+/// selection and [`measure_random_coloring_balance`], so the three can never
+/// drift apart on which edges count as low-degree.
+pub(crate) fn split_high_low_degree(
+    edges: &ExtVec<Edge>,
+    mem_words: usize,
+) -> (Vec<VertexId>, ExtVec<Edge>) {
+    let threshold = high_degree_threshold(edges.len(), mem_words);
+    let degrees = degree_table(edges, SortKind::Aware);
+    let high = vertices_with_degree(&degrees, |d| d > threshold);
+    drop(degrees);
+    let el = remove_incident_edges(edges, &high);
+    (high, el)
 }
 
 /// Shared driver for the randomized (Section 2) and derandomized (Section 4)
@@ -71,15 +107,11 @@ pub(crate) fn run_colored(
 ) -> ColoredRunOutcome {
     let machine = graph.machine().clone();
     let edges = graph.edges();
-    let e = edges.len();
     let mut triangles = 0u64;
 
     // ---- Step 1: triangles with a high-degree vertex (Lemma 1 per vertex). ----
     let before: IoStats = machine.io();
-    let threshold = high_degree_threshold(e, cfg.mem_words);
-    let degrees = degree_table(edges, SortKind::Aware);
-    let high = vertices_with_degree(&degrees, |d| d > threshold);
-    drop(degrees);
+    let (high, el) = split_high_low_degree(edges, cfg.mem_words);
     let _high_lease = machine.gauge().lease(high.len() as u64);
     {
         // Emit a triangle through high-degree vertex v only if v is the
@@ -105,7 +137,6 @@ pub(crate) fn run_colored(
 
     // ---- Step 2: colour and partition the low-degree edges. ----
     let before: IoStats = machine.io();
-    let el = remove_incident_edges(edges, &high);
     let partition = ColorPartition::build(&el, c, color);
     drop(el);
     let _index_lease = machine.gauge().lease(partition.index_words());
@@ -149,10 +180,7 @@ pub fn measure_random_coloring_balance(graph: &ExtGraph, cfg: EmConfig, seed: u6
     let e = graph.edge_count();
     let c = number_of_colors(e, cfg.mem_words);
     let coloring = RandomColoring::new(c, seed);
-    let threshold = high_degree_threshold(e, cfg.mem_words);
-    let degrees = degree_table(graph.edges(), SortKind::Aware);
-    let high = vertices_with_degree(&degrees, |d| d > threshold);
-    let el = remove_incident_edges(graph.edges(), &high);
+    let (_high, el) = split_high_low_degree(graph.edges(), cfg.mem_words);
     let partition = ColorPartition::build(&el, c, &|v| coloring.color(v));
     (c, partition.x_statistic())
 }
@@ -220,6 +248,79 @@ mod tests {
         assert_eq!(number_of_colors(1 << 20, 1 << 16), 4);
         assert_eq!(number_of_colors(100, 1_000_000), 1);
         assert_eq!(high_degree_threshold(1 << 16, 1 << 16), 1 << 16);
+    }
+
+    #[test]
+    fn formulae_are_exact_at_perfect_square_boundaries() {
+        // ⌈√(E/M)⌉ boundaries: E = c²·M is still c colours, one edge more
+        // tips to c + 1.
+        let m = 1usize << 40;
+        assert_eq!(number_of_colors(9 * m, m), 3);
+        assert_eq!(number_of_colors(9 * m + 1, m), 4);
+        assert_eq!(number_of_colors(4 * m - 1, m), 2);
+        assert_eq!(number_of_colors(0, 512), 1);
+        // E = (2³²−1)², M = 1: E is not representable in f64 (it rounds to
+        // 2⁶⁴, whose square root would give 2³² colours); the exact answer is
+        // 2³² − 1.
+        let k = (1u64 << 32) - 1;
+        assert_eq!(number_of_colors((k * k) as usize, 1), k);
+        assert_eq!(number_of_colors((k * k + 1) as usize, 1), k + 1);
+
+        // ⌊√(E·M)⌋ boundaries. E·M = 2⁶² − 1 rounds to 2⁶² in f64 (whose
+        // root is 2³¹); the exact floor root is 2³¹ − 1.
+        assert_eq!(
+            high_degree_threshold(2_147_483_647, 2_147_483_649),
+            2_147_483_647
+        );
+        assert_eq!(high_degree_threshold(1 << 31, 1 << 31), 1 << 31);
+        // Saturation at the u32 degree ceiling.
+        assert_eq!(high_degree_threshold(1 << 40, 1 << 40), u32::MAX);
+    }
+
+    #[test]
+    fn split_high_low_degree_is_the_step1_partition() {
+        // A hub of degree 300 over ~600 edges: with M = 64 the threshold is
+        // ⌊√(600·64)⌋ ≈ 196, so exactly the hub is high-degree.
+        let mut g = graphgen::Graph::empty(301);
+        for v in 1..=300u32 {
+            g.add_edge(0, v);
+        }
+        for v in 1..300u32 {
+            g.add_edge(v, v + 1);
+        }
+        let cfg = EmConfig::new(64, 16);
+        let machine = Machine::new(cfg);
+        let eg = ExtGraph::load(&machine, &g);
+        let (high, el) = split_high_low_degree(eg.edges(), cfg.mem_words);
+        let threshold = high_degree_threshold(eg.edge_count(), cfg.mem_words);
+        // The split agrees with the graph's own degree sequence.
+        let deg = {
+            let canon = eg.edges().load_all();
+            let mut d = vec![0u32; eg.vertex_count()];
+            for e in &canon {
+                d[e.u as usize] += 1;
+                d[e.v as usize] += 1;
+            }
+            d
+        };
+        let expected_high: Vec<u32> = (0..eg.vertex_count() as u32)
+            .filter(|&v| deg[v as usize] > threshold)
+            .collect();
+        assert_eq!(high, expected_high);
+        assert!(!high.is_empty(), "the hub must be detected as high-degree");
+        for e in el.iter() {
+            assert!(deg[e.u as usize] <= threshold && deg[e.v as usize] <= threshold);
+        }
+        assert_eq!(
+            el.len(),
+            eg.edge_count()
+                - eg
+                    .edges()
+                    .iter()
+                    .filter(|e| high.binary_search(&e.u).is_ok()
+                        || high.binary_search(&e.v).is_ok())
+                    .count()
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!
 //! 1. enumerates the *proper* triangles through every **local high-degree
 //!    vertex** (degree ≥ E/8 within the current subproblem; at most 16 of
-//!    them) with Lemma 1, removing each such vertex's edges afterwards;
+//!    them, see [`MAX_LOCAL_HIGH_DEGREE`]) with Lemma 1, removing each such
+//!    vertex's edges afterwards;
 //! 2. refines the colouring with one fresh random bit per vertex,
 //!    `ξ'(v) = 2ξ(v) − b(v)`, `b` drawn from a 4-wise independent family;
 //! 3. recurses on the 8 colour vectors
@@ -18,31 +19,112 @@
 //!    edges compatible with that vector.
 //!
 //! The recursion bottoms out on empty inputs, on inputs of constant size, or
-//! at depth `log₄ E` (where the sort-based algorithm of Dementiev finishes
-//! the job) — none of which involves the machine parameters `M` or `B`. The
+//! at depth `log₄ E` (where a wedge-join in the style of Dementiev's
+//! sort-based algorithm finishes the job, see [`base_case_from_arcs`]) —
+//! none of which involves the machine parameters `M` or `B`. The
 //! **code below never reads the machine configuration**; every I/O the run is
 //! charged comes from LRU misses in the simulator, which is exactly how a
 //! cache-oblivious algorithm is supposed to be evaluated.
+//!
+//! ## Single-pass child partitioning
+//!
+//! A subproblem is represented by its **incidence list**: both orientations
+//! `(u, v)` and `(v, u)` of every edge, sorted by `(source, destination)`.
+//! The list is sorted exactly once, at the root; every later operation is a
+//! scan that preserves the order, so children inherit sortedness for free.
+//! This buys each recursion level:
+//!
+//! * **degrees by run length** — the local degree of a vertex is the length
+//!   of its run in the incidence list, so step 1's high-degree detection is
+//!   one counting scan instead of writing and sorting a `2E`-endpoint file;
+//!   below the root even that scan disappears, because the parent's
+//!   partition scan tracks each child's candidate runs as it emits them
+//!   (see [`RunTracker`]);
+//! * **all eight children in one scan** — each edge is classified once per
+//!   level by its refined colour pair (the per-level bits are memoised in
+//!   [`RefinedColoring`]) and routed by [`emalgo::scan_partition`] to every
+//!   compatible child bucket in a single pass, instead of eight independent
+//!   filter scans that each re-evaluated the whole hash chain per edge.
+//!
+//! The change removes constant-factor scans and sorts only — the recursion
+//! tree, the subproblem contents and the Theorem 1 I/O bound are unchanged
+//! (experiment E7 tracks the resulting work ratio; the pre-rewrite
+//! implementation sat at ~52× `E^{3/2}`, see EXPERIMENTS.md).
 
-use emsim::ExtVec;
+use emalgo::scan_partition;
+use emsim::{ExtVec, MemLease};
 use graphgen::{Edge, Triangle, VertexId};
 use kwise::{FourWise, RefinedColoring};
 
-use crate::baselines::dementiev::sort_based_enumeration;
 use crate::input::ExtGraph;
 use crate::lemma1::enumerate_through_vertex;
 use crate::sink::TriangleSink;
-use crate::util::{
-    degree_table, remove_incident_edges, scan_filter_edges, vertices_with_degree, SortKind,
-};
+use crate::util::{remove_incident_edges, SortKind};
 
 /// Subproblems of at most this many edges are finished with the base-case
 /// algorithm directly. A fixed constant — the cache-oblivious model forbids
 /// dependence on `M`/`B`, not on constants.
 const BASE_CASE_EDGES: usize = 24;
 
+/// The paper's bound on the number of local high-degree vertices: since each
+/// has degree ≥ E/8 and the degrees sum to 2E, there can be at most 16. The
+/// bound is enforced (not merely asserted): if a future change to the
+/// degree accounting ever produced more candidates, step 1 processes the 16
+/// highest-degree ones and leaves the rest to the recursion — which stays
+/// correct, because Lemma 1 handles *any* subset of vertices — instead of
+/// silently degrading into unbounded quadratic Lemma 1 passes.
+const MAX_LOCAL_HIGH_DEGREE: usize = 16;
+
 /// A colour vector `(c0, c1, c2)` of a subproblem.
 type ColorVector = (u64, u64, u64);
+
+/// A directed half-edge `(source, destination)`, packed into one word.
+/// Every undirected edge of a subproblem appears under both orientations.
+type Arc = (u32, u32);
+
+/// In-core tracker of the largest degree runs of one child bucket, fed while
+/// the parent's partition scan emits the child's (sorted) incidence list.
+///
+/// A child's local high-degree vertices all have degree ≥ E_child/8, and at
+/// most [`MAX_LOCAL_HIGH_DEGREE`] vertices can clear that bar, so the 16
+/// longest runs are guaranteed to contain every qualifying vertex even
+/// though E_child is only known once the scan finishes. The child filters
+/// the inherited candidates by its actual threshold and skips its own degree
+/// scan entirely — this is how the parent's vertex-locality is reused.
+#[derive(Default)]
+struct RunTracker {
+    run: Option<(VertexId, usize)>,
+    top: Vec<(VertexId, usize)>,
+}
+
+impl RunTracker {
+    /// In-core footprint in words (for gauge accounting): the open run plus
+    /// the bounded top list.
+    const WORDS: u64 = 2 * (MAX_LOCAL_HIGH_DEGREE as u64 + 1) + 2;
+
+    fn feed(&mut self, v: VertexId) {
+        match &mut self.run {
+            Some((cur, d)) if *cur == v => *d += 1,
+            _ => {
+                if let Some(closed) = self.run.replace((v, 1)) {
+                    self.close(closed);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, entry: (VertexId, usize)) {
+        self.top.push(entry);
+        keep_top_candidates(&mut self.top);
+    }
+
+    fn finish(mut self) -> Vec<(VertexId, usize)> {
+        if let Some(closed) = self.run.take() {
+            self.close(closed);
+        }
+        self.top
+    }
+}
 
 struct CoContext<'a> {
     sink: &'a mut dyn TriangleSink,
@@ -53,6 +135,11 @@ struct CoContext<'a> {
     subproblems: u64,
     /// Maximum recursion depth reached.
     max_depth: usize,
+    /// Times the ≤ 16 high-degree invariant had to be enforced by truncation
+    /// (always 0 unless the degree accounting is broken).
+    high_degree_truncations: u64,
+    /// Gauge lease tracking the colouring's memoised bit evaluations.
+    bit_cache_lease: MemLease,
 }
 
 /// Statistics of a cache-oblivious run (besides the emitted count).
@@ -62,6 +149,8 @@ pub(crate) struct CacheObliviousStats {
     pub subproblems: u64,
     /// Deepest recursion level reached.
     pub max_depth: usize,
+    /// Times the local high-degree set had to be truncated to 16 entries.
+    pub high_degree_truncations: u64,
 }
 
 /// Runs the cache-oblivious randomized algorithm on `graph` with the given
@@ -80,15 +169,24 @@ pub(crate) fn run_cache_oblivious(
             CacheObliviousStats {
                 subproblems: 1,
                 max_depth: 0,
+                high_degree_truncations: 0,
             },
         );
     }
     // Depth limit log₄ E (a function of the input size only).
     let depth_limit = ((e as f64).ln() / 4f64.ln()).ceil() as usize;
 
-    // Copy the edge list so the recursion may consume it (one scan).
-    let mut root: ExtVec<Edge> = ExtVec::new(&machine);
-    root.extend_from(graph.edges());
+    // Root incidence list: both orientations of every edge, sorted once.
+    // Children inherit the sortedness through the order-preserving partition,
+    // so no subproblem below the root ever sorts its input again.
+    let mut arcs_raw: ExtVec<Arc> = ExtVec::new(&machine);
+    for edge in graph.edges().iter() {
+        machine.work(1);
+        arcs_raw.push((edge.u, edge.v));
+        arcs_raw.push((edge.v, edge.u));
+    }
+    let arcs = emalgo::oblivious_sort_by_key(&arcs_raw, |a| *a);
+    drop(arcs_raw);
 
     let mut ctx = CoContext {
         sink,
@@ -97,24 +195,39 @@ pub(crate) fn run_cache_oblivious(
         next_seed: seed,
         subproblems: 0,
         max_depth: 0,
+        high_degree_truncations: 0,
+        bit_cache_lease: machine.gauge().lease(0),
     };
-    let mut coloring = RefinedColoring::identity();
-    solve(&mut ctx, root, &mut coloring, (1, 1, 1), 0);
+    // Memoised colouring: the recursion queries every endpoint's colour at
+    // every level, and the memo's in-core footprint is tracked on the gauge
+    // through `ctx.bit_cache_lease`.
+    let mut coloring = RefinedColoring::memoised();
+    solve(&mut ctx, arcs, None, &mut coloring, (1, 1, 1), 0);
     let stats = CacheObliviousStats {
         subproblems: ctx.subproblems,
         max_depth: ctx.max_depth,
+        high_degree_truncations: ctx.high_degree_truncations,
     };
     (ctx.emitted, stats)
 }
 
-/// Whether edge `e` is compatible with colour vector `target` under `coloring`
-/// (paper: not *incompatible*, i.e. its ordered colour pair appears among the
-/// pairs a proper triangle would use).
-fn compatible(e: &Edge, coloring: &RefinedColoring, target: ColorVector) -> bool {
-    let cu = coloring.color(e.u);
-    let cv = coloring.color(e.v);
+/// Whether the ordered colour pair `(cu, cv)` (colours of an edge's smaller
+/// and larger endpoint) appears among the pairs a proper triangle of `target`
+/// would use.
+fn pair_compatible(cu: u64, cv: u64, target: ColorVector) -> bool {
     let (c0, c1, c2) = target;
     (cu, cv) == (c0, c1) || (cu, cv) == (c1, c2) || (cu, cv) == (c0, c2)
+}
+
+/// Whether edge `e` is compatible with colour vector `target` under `coloring`
+/// (paper: not *incompatible*, i.e. its ordered colour pair appears among the
+/// pairs a proper triangle would use). The production path precomputes the
+/// colour pair once per edge and calls [`pair_compatible`] directly; this
+/// wrapper is the reference definition the partition-routing test checks
+/// against.
+#[cfg_attr(not(test), allow(dead_code))]
+fn compatible(e: &Edge, coloring: &RefinedColoring, target: ColorVector) -> bool {
+    pair_compatible(coloring.color(e.u), coloring.color(e.v), target)
 }
 
 /// Whether triangle `t` is proper for `target` under `coloring`.
@@ -126,58 +239,213 @@ fn proper(t: &Triangle, coloring: &RefinedColoring, target: ColorVector) -> bool
     ) == target
 }
 
+/// The canonical (lexicographically sorted) edge list of an incidence list:
+/// one scan keeping the `source < destination` orientation of every edge.
+fn canonical_edges(arcs: &ExtVec<Arc>) -> ExtVec<Edge> {
+    let machine = arcs.machine().clone();
+    let mut out: ExtVec<Edge> = ExtVec::new(&machine);
+    for (a, b) in arcs.iter() {
+        machine.work(1);
+        if a < b {
+            out.push(Edge::new(a, b));
+        }
+    }
+    out
+}
+
+/// Removes from an incidence list every arc touching a vertex in `forbidden`
+/// (sorted slice). One order-preserving scan.
+fn remove_incident_arcs(arcs: &ExtVec<Arc>, forbidden: &[VertexId]) -> ExtVec<Arc> {
+    emalgo::scan_filter(arcs, |&(a, b)| {
+        forbidden.binary_search(&a).is_err() && forbidden.binary_search(&b).is_err()
+    })
+}
+
+/// The one place that decides which candidates survive when there are more
+/// than [`MAX_LOCAL_HIGH_DEGREE`]: keep the highest degrees, ties broken by
+/// smaller vertex id. Shared by [`RunTracker`] and
+/// [`select_local_high_degree`] so the selection ordering cannot drift.
+fn keep_top_candidates(candidates: &mut Vec<(VertexId, usize)>) {
+    if candidates.len() > MAX_LOCAL_HIGH_DEGREE {
+        candidates.sort_unstable_by_key(|&(v, d)| (std::cmp::Reverse(d), v));
+        candidates.truncate(MAX_LOCAL_HIGH_DEGREE);
+    }
+}
+
+/// Enforces the ≤ [`MAX_LOCAL_HIGH_DEGREE`] invariant on the high-degree
+/// candidates of a subproblem (`(vertex, local degree)` pairs). Returns the
+/// vertices to hand to Lemma 1 in ascending id order, plus whether the set
+/// had to be truncated. On truncation the highest-degree candidates win
+/// (ties broken by id) and the remainder is left to the recursion, which
+/// stays exact for any subset — "truncate and recurse" rather than a silent
+/// slide into unbounded quadratic Lemma 1 passes.
+fn select_local_high_degree(mut candidates: Vec<(VertexId, usize)>) -> (Vec<VertexId>, bool) {
+    let truncated = candidates.len() > MAX_LOCAL_HIGH_DEGREE;
+    keep_top_candidates(&mut candidates);
+    let mut high: Vec<VertexId> = candidates.into_iter().map(|(v, _)| v).collect();
+    high.sort_unstable();
+    (high, truncated)
+}
+
+/// Base case: wedge-join enumeration straight off the incidence list (the
+/// same sort–merge idea as Dementiev's baseline, specialised to the arc
+/// representation so no canonical edge list is materialised and no input
+/// sort is ever needed — the arcs arrive sorted).
+///
+/// Out-neighbours of `u` under the `smaller → larger` orientation are the
+/// run entries `(u, b)` with `b > u`; every pair in a run is a wedge, and a
+/// wedge `(v, w, u)` is a triangle iff the arc `(v, w)` exists. Cost: one
+/// scan of the arcs, `sort(W)` for the wedge file, one merge scan.
+fn base_case_from_arcs(
+    arcs: &ExtVec<Arc>,
+    mut filter: impl FnMut(Triangle) -> bool,
+    sink: &mut dyn TriangleSink,
+) -> u64 {
+    let machine = arcs.machine().clone();
+    let mut wedges: ExtVec<(u32, u32, u32)> = ExtVec::new(&machine);
+    {
+        let mut lease = machine.gauge().lease(0);
+        let mut current: Option<u32> = None;
+        let mut out_neighbours: Vec<u32> = Vec::new();
+        let flush = |u: u32, outn: &mut Vec<u32>, wedges: &mut ExtVec<(u32, u32, u32)>| {
+            for i in 0..outn.len() {
+                for j in (i + 1)..outn.len() {
+                    machine.work(1);
+                    let (v, w) = (outn[i].min(outn[j]), outn[i].max(outn[j]));
+                    wedges.push((v, w, u));
+                }
+            }
+            outn.clear();
+        };
+        for (a, b) in arcs.iter() {
+            machine.work(1);
+            if current != Some(a) {
+                if let Some(u) = current {
+                    flush(u, &mut out_neighbours, &mut wedges);
+                }
+                current = Some(a);
+                lease.shrink(lease.words());
+            }
+            if b > a {
+                out_neighbours.push(b);
+                lease.grow(1);
+            }
+        }
+        if let Some(u) = current {
+            flush(u, &mut out_neighbours, &mut wedges);
+        }
+    }
+
+    let wedges_sorted = emalgo::oblivious_sort_by_key(&wedges, |&(v, w, _)| (v, w));
+    drop(wedges);
+
+    let mut emitted = 0u64;
+    let mut edge_iter = arcs.iter().filter(|&(a, b)| a < b).peekable();
+    for (v, w, u) in wedges_sorted.iter() {
+        machine.work(1);
+        let target = (v, w);
+        while let Some(&e) = edge_iter.peek() {
+            if e < target {
+                edge_iter.next();
+            } else {
+                break;
+            }
+        }
+        if edge_iter.peek() == Some(&target) {
+            let t = Triangle::new(u, v, w);
+            if filter(t) {
+                sink.emit(t);
+                emitted += 1;
+            }
+        }
+    }
+    emitted
+}
+
 fn solve(
     ctx: &mut CoContext<'_>,
-    edges: ExtVec<Edge>,
+    arcs: ExtVec<Arc>,
+    inherited: Option<Vec<(VertexId, usize)>>,
     coloring: &mut RefinedColoring,
     target: ColorVector,
     depth: usize,
 ) {
     ctx.subproblems += 1;
     ctx.max_depth = ctx.max_depth.max(depth);
-    if edges.len() < 3 {
+    let e_here = arcs.len() / 2;
+    if e_here < 3 {
         return;
     }
-    if edges.len() <= BASE_CASE_EDGES || depth >= ctx.depth_limit {
-        // Base case: Dementiev's sort-based algorithm (with the
-        // cache-oblivious sort), restricted to proper triangles.
+    if e_here <= BASE_CASE_EDGES || depth >= ctx.depth_limit {
         let emitted = {
             let coloring_ref: &RefinedColoring = coloring;
-            sort_based_enumeration(
-                &edges,
-                SortKind::Oblivious,
-                |t| proper(&t, coloring_ref, target),
-                ctx.sink,
-            )
+            base_case_from_arcs(&arcs, |t| proper(&t, coloring_ref, target), ctx.sink)
         };
         ctx.emitted += emitted;
         return;
     }
 
     // ---- Step 1: local high-degree vertices. ----
-    let e_here = edges.len();
-    let degrees = degree_table(&edges, SortKind::Oblivious);
-    let mut high: Vec<VertexId> = vertices_with_degree(&degrees, |d| 8 * d as usize >= e_here);
-    drop(degrees);
-    high.sort_unstable();
-    debug_assert!(high.len() <= 16, "more than 16 local high-degree vertices");
+    // The incidence list is sorted by source, so each vertex's local degree
+    // is the length of its run. Below the root the parent's partition scan
+    // already tracked the candidate runs (see [`RunTracker`]); only the root
+    // pays for a counting scan of its own. The root scan deliberately keeps
+    // *every* qualifying run (uncapped, unlike a RunTracker) so that
+    // `select_local_high_degree` can still detect a drifted invariant.
+    let machine = arcs.machine().clone();
+    let candidates: Vec<(VertexId, usize)> = match inherited {
+        Some(top) => top.into_iter().filter(|&(_, d)| 8 * d >= e_here).collect(),
+        None => {
+            let mut found = Vec::new();
+            let mut run: Option<(VertexId, usize)> = None;
+            for (from, _) in arcs.iter() {
+                machine.work(1);
+                match run {
+                    Some((v, d)) if v == from => run = Some((v, d + 1)),
+                    _ => {
+                        if let Some((v, d)) = run {
+                            if 8 * d >= e_here {
+                                found.push((v, d));
+                            }
+                        }
+                        run = Some((from, 1));
+                    }
+                }
+            }
+            if let Some((v, d)) = run {
+                if 8 * d >= e_here {
+                    found.push((v, d));
+                }
+            }
+            found
+        }
+    };
+    let (high, truncated) = select_local_high_degree(candidates);
+    ctx.high_degree_truncations += u64::from(truncated);
 
-    let mut current = edges;
-    for &v in &high {
-        let emitted = {
-            let coloring_ref: &RefinedColoring = coloring;
-            enumerate_through_vertex(
-                &current,
-                v,
-                SortKind::Oblivious,
-                |t| proper(&t, coloring_ref, target),
-                ctx.sink,
-            )
-        };
-        ctx.emitted += emitted;
-        // Remove the vertex's edges so no later step sees them again.
-        current = remove_incident_edges(&current, &[v]);
-        if current.len() < 3 {
+    let mut current = arcs;
+    if !high.is_empty() {
+        let mut edges = canonical_edges(&current);
+        for &v in &high {
+            let emitted = {
+                let coloring_ref: &RefinedColoring = coloring;
+                enumerate_through_vertex(
+                    &edges,
+                    v,
+                    SortKind::Oblivious,
+                    |t| proper(&t, coloring_ref, target),
+                    ctx.sink,
+                )
+            };
+            ctx.emitted += emitted;
+            // Remove the vertex's edges so no later step sees them again.
+            edges = remove_incident_edges(&edges, &[v]);
+            if edges.len() < 3 {
+                break;
+            }
+        }
+        current = remove_incident_arcs(&current, &high);
+        if current.len() < 6 {
             return;
         }
     }
@@ -186,21 +454,55 @@ fn solve(
     let bit = FourWise::new(splitmix(&mut ctx.next_seed));
     coloring.push(bit);
 
-    // ---- Step 3: the eight child colour vectors. ----
+    // ---- Step 3: all eight children in one routing scan. ----
     let (c0, c1, c2) = target;
+    let mut children = [(0u64, 0u64, 0u64); 8];
+    let mut k = 0;
     for z0 in [2 * c0 - 1, 2 * c0] {
         for z1 in [2 * c1 - 1, 2 * c1] {
             for z2 in [2 * c2 - 1, 2 * c2] {
-                let child_target = (z0, z1, z2);
-                let child = {
-                    let coloring_ref: &RefinedColoring = coloring;
-                    scan_filter_edges(&current, |e| compatible(e, coloring_ref, child_target))
-                };
-                solve(ctx, child, coloring, child_target, depth + 1);
+                children[k] = (z0, z1, z2);
+                k += 1;
             }
         }
     }
+    let mut trackers: Vec<RunTracker> = (0..8).map(|_| RunTracker::default()).collect();
+    let buckets = {
+        let _tracker_lease = machine.gauge().lease(8 * RunTracker::WORDS);
+        let coloring_ref: &RefinedColoring = coloring;
+        let trackers = &mut trackers;
+        scan_partition(&current, 8, move |&(a, b): &Arc| {
+            // Both orientations of an edge compute the same mask, so the
+            // child incidence lists stay consistent (and sorted).
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let cu = coloring_ref.color(lo);
+            let cv = coloring_ref.color(hi);
+            let mut mask = 0u32;
+            for (i, &child) in children.iter().enumerate() {
+                if pair_compatible(cu, cv, child) {
+                    mask |= 1 << i;
+                    trackers[i].feed(a);
+                }
+            }
+            mask
+        })
+    };
+    drop(current);
+    ctx.bit_cache_lease.resize(coloring.cached_bits() as u64);
+
+    for ((bucket, &child_target), tracker) in buckets.into_iter().zip(children.iter()).zip(trackers)
+    {
+        solve(
+            ctx,
+            bucket,
+            Some(tracker.finish()),
+            coloring,
+            child_target,
+            depth + 1,
+        );
+    }
     coloring.pop();
+    ctx.bit_cache_lease.resize(coloring.cached_bits() as u64);
 }
 
 /// A small deterministic seed sequence (splitmix64) so one user-supplied seed
@@ -219,6 +521,7 @@ mod tests {
     use crate::sink::StrictSink;
     use emsim::{EmConfig, Machine};
     use graphgen::{generators, naive};
+    use kwise::BitFunctionFamily;
 
     fn run(g: &graphgen::Graph, cfg: EmConfig, seed: u64) -> (u64, u64, CacheObliviousStats) {
         let machine = Machine::new(cfg);
@@ -238,6 +541,7 @@ mod tests {
             let (got, _, stats) = run(&g, EmConfig::new(1 << 9, 32), seed);
             assert_eq!(got, expected, "seed {seed}");
             assert!(stats.subproblems > 1);
+            assert_eq!(stats.high_degree_truncations, 0);
         }
     }
 
@@ -286,5 +590,95 @@ mod tests {
         let (_, _, stats) = run(&g, EmConfig::new(512, 32), 11);
         let limit = ((1600f64).ln() / 4f64.ln()).ceil() as usize;
         assert!(stats.max_depth <= limit);
+    }
+
+    #[test]
+    fn partition_routing_agrees_with_per_child_compatibility_filters() {
+        // The single-pass router must produce, for every child vector,
+        // exactly the edges the old eight-filter implementation kept.
+        let g = generators::erdos_renyi(80, 400, 4);
+        let machine = Machine::new(EmConfig::new(1 << 12, 64));
+        let eg = ExtGraph::load(&machine, &g);
+
+        let mut arcs_raw: ExtVec<Arc> = ExtVec::new(&machine);
+        for e in eg.edges().iter() {
+            arcs_raw.push((e.u, e.v));
+            arcs_raw.push((e.v, e.u));
+        }
+        let arcs = emalgo::oblivious_sort_by_key(&arcs_raw, |a| *a);
+
+        let fam = BitFunctionFamily::new(1, 99);
+        let mut coloring = RefinedColoring::identity();
+        coloring.push(fam.function(0));
+
+        let children: Vec<ColorVector> = [(1, 1, 1), (1, 1, 2), (1, 2, 1), (1, 2, 2)]
+            .into_iter()
+            .chain([(2, 1, 1), (2, 1, 2), (2, 2, 1), (2, 2, 2)])
+            .collect();
+        let coloring_ref = &coloring;
+        let buckets = scan_partition(&arcs, 8, |&(a, b): &Arc| {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let (cu, cv) = (coloring_ref.color(lo), coloring_ref.color(hi));
+            let mut mask = 0u32;
+            for (i, &child) in children.iter().enumerate() {
+                if pair_compatible(cu, cv, child) {
+                    mask |= 1 << i;
+                }
+            }
+            mask
+        });
+        for (i, bucket) in buckets.iter().enumerate() {
+            let expected = emalgo::scan_filter(&arcs, |&(a, b)| {
+                let e = Edge::new(a, b);
+                compatible(&e, coloring_ref, children[i])
+            });
+            assert_eq!(bucket.load_all(), expected.load_all(), "child {i}");
+            // Sortedness is inherited by every bucket.
+            assert!(emalgo::is_sorted_by_key(bucket, |a| *a));
+        }
+    }
+
+    #[test]
+    fn clique16_sits_exactly_on_the_high_degree_boundary() {
+        // K16: E = 120, every vertex has degree 15 and 8·15 = 120 ≥ E, so all
+        // 16 vertices are local high-degree — the maximum the invariant
+        // allows. The run must stay exact without any truncation.
+        let g = generators::clique(16);
+        let (got, _, stats) = run(&g, EmConfig::new(256, 32), 5);
+        assert_eq!(got, 560); // C(16, 3)
+        assert_eq!(stats.high_degree_truncations, 0);
+    }
+
+    #[test]
+    fn high_degree_selection_keeps_the_invariant_under_overflow() {
+        // Within the invariant: all candidates kept, ascending.
+        let ok: Vec<(VertexId, usize)> = (0..16u32).map(|v| (v, 100 - v as usize)).collect();
+        let (high, truncated) = select_local_high_degree(ok);
+        assert!(!truncated);
+        assert_eq!(high, (0..16u32).collect::<Vec<_>>());
+
+        // Beyond it (only reachable if the degree accounting drifts): the 16
+        // highest-degree candidates survive, ties broken by id, result sorted.
+        let overflow: Vec<(VertexId, usize)> =
+            (0..20u32).map(|v| (v, 1000 - 10 * v as usize)).collect();
+        let (high, truncated) = select_local_high_degree(overflow);
+        assert!(truncated);
+        assert_eq!(high, (0..16u32).collect::<Vec<_>>());
+
+        let tied: Vec<(VertexId, usize)> = (0..18u32).rev().map(|v| (v, 7)).collect();
+        let (high, truncated) = select_local_high_degree(tied);
+        assert!(truncated);
+        assert_eq!(high, (0..16u32).collect::<Vec<_>>(), "ties broken by id");
+    }
+
+    #[test]
+    fn bit_cache_lease_is_released_after_the_run() {
+        let g = generators::erdos_renyi(150, 1200, 2);
+        let machine = Machine::new(EmConfig::new(1 << 10, 32));
+        let eg = ExtGraph::load(&machine, &g);
+        let mut sink = StrictSink::new();
+        let _ = run_cache_oblivious(&eg, 3, &mut sink);
+        assert_eq!(machine.gauge().in_use(), 0);
+        assert!(machine.gauge().peak() > 0, "memoised bits were accounted");
     }
 }

@@ -16,12 +16,11 @@
 use emsim::{EmConfig, IoStats};
 use kwise::{BitFunctionFamily, RefinedColoring};
 
-use crate::cache_aware::{high_degree_threshold, number_of_colors, run_colored, ColoredRunOutcome};
+use crate::cache_aware::{number_of_colors, run_colored, split_high_low_degree, ColoredRunOutcome};
 use crate::input::ExtGraph;
 use crate::potential::evaluate_candidates;
 use crate::sink::TriangleSink;
 use crate::stats::PhaseRecorder;
-use crate::util::{degree_table, remove_incident_edges, vertices_with_degree, SortKind};
 
 /// Extra information reported by a derandomized run.
 #[derive(Debug, Clone)]
@@ -64,11 +63,7 @@ pub(crate) fn run_derandomized(
     // The greedy selection operates on the low-degree edge set E_l, exactly
     // like the colouring it replaces.
     let before: IoStats = machine.io();
-    let threshold = high_degree_threshold(e, cfg.mem_words);
-    let degrees = degree_table(graph.edges(), SortKind::Aware);
-    let high = vertices_with_degree(&degrees, |d| d > threshold);
-    drop(degrees);
-    let el = remove_incident_edges(graph.edges(), &high);
+    let (_high, el) = split_high_low_degree(graph.edges(), cfg.mem_words);
     let el_len = el.len() as f64;
 
     let alpha = if levels == 0 {

@@ -230,6 +230,10 @@ pub fn enumerate_triangles(
                 let (n, stats) = cache_oblivious::run_cache_oblivious(&ext, seed, &mut translating);
                 extra.push(("subproblems".into(), stats.subproblems as f64));
                 extra.push(("max_recursion_depth".into(), stats.max_depth as f64));
+                extra.push((
+                    "high_degree_truncations".into(),
+                    stats.high_degree_truncations as f64,
+                ));
                 n
             }
             Algorithm::HuTaoChung => {

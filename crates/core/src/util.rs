@@ -90,12 +90,24 @@ pub(crate) fn vertices_with_degree(
     out
 }
 
-/// Scans `edges` and keeps those satisfying `keep` (one scan).
-pub(crate) fn scan_filter_edges(
-    edges: &ExtVec<Edge>,
-    keep: impl FnMut(&Edge) -> bool,
-) -> ExtVec<Edge> {
-    emalgo::scan_filter(edges, keep)
+/// Exact floor integer square root of a `u128` (Newton's method).
+///
+/// The paper's thresholds `⌊√(E·M)⌋` and `⌈√(E/M)⌉` must be exact: routing
+/// them through `f64::sqrt` mis-rounds near perfect squares once the product
+/// exceeds 2⁵³ (a degree-2¹⁶-off-by-one at `E·M ≈ 2⁶²` flips which vertices
+/// count as high-degree).
+pub(crate) fn isqrt_u128(n: u128) -> u128 {
+    if n < 2 {
+        return n;
+    }
+    // Initial guess ≥ √n, then monotone Newton descent to the floor root.
+    let mut x0 = 1u128 << (n.ilog2() / 2 + 1);
+    let mut x1 = (x0 + n / x0) / 2;
+    while x1 < x0 {
+        x0 = x1;
+        x1 = (x0 + n / x0) / 2;
+    }
+    x0
 }
 
 /// Removes from `edges` every edge incident to a vertex in `forbidden`
@@ -172,6 +184,31 @@ mod tests {
         // The scan preserves the input order of the surviving edges.
         let rest = remove_incident_edges(&edges, &high).load_all();
         assert_eq!(rest, vec![Edge::new(2, 3), Edge::new(1, 4)]);
+    }
+
+    #[test]
+    fn isqrt_is_exact_on_and_around_perfect_squares() {
+        assert_eq!(isqrt_u128(0), 0);
+        assert_eq!(isqrt_u128(1), 1);
+        assert_eq!(isqrt_u128(2), 1);
+        assert_eq!(isqrt_u128(3), 1);
+        assert_eq!(isqrt_u128(4), 2);
+        for k in [
+            7u128,
+            1 << 26,
+            (1 << 26) + 1,
+            (1 << 31) - 1,
+            1 << 31,
+            3_037_000_499,    // isqrt(2^63) territory
+            u64::MAX as u128, // k² just below 2^128
+        ] {
+            assert_eq!(isqrt_u128(k * k), k, "k={k}");
+            assert_eq!(isqrt_u128(k * k - 1), k - 1, "k={k}");
+            assert_eq!(isqrt_u128(k * k + 2 * k), k, "k={k}");
+            if let Some(next_square) = (k * k).checked_add(2 * k + 1) {
+                assert_eq!(isqrt_u128(next_square), k + 1, "k={k}");
+            }
+        }
     }
 
     #[test]

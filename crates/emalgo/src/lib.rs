@@ -16,6 +16,11 @@
 //!   sort share so the difference is visible and immaterial at our scales).
 //! * [`merge_sorted`], [`scan_filter`], [`is_sorted_by_key`], [`dedup_sorted`]
 //!   — scanning utilities with the obvious `O(n/B)` costs.
+//! * [`scan_partition`] — a **multi-way single-pass partition**: every
+//!   element is classified once and routed to any subset of up to
+//!   [`MAX_PARTITION_BUCKETS`] output buckets in one scan. This is the
+//!   primitive behind the cache-oblivious recursion's eight-child split
+//!   (one scan per level instead of eight filter passes).
 //!
 //! All primitives operate on [`emsim::ExtVec`] arrays so that every block
 //! transfer is accounted for by the simulator.
@@ -25,10 +30,12 @@
 
 mod merge;
 mod oblivious;
+mod partition;
 mod sort;
 
 pub use merge::{dedup_sorted, is_sorted_by_key, merge_sorted, scan_filter};
 pub use oblivious::oblivious_sort_by_key;
+pub use partition::{scan_partition, MAX_PARTITION_BUCKETS};
 pub use sort::{external_sort_by_key, external_sort_by_key_with_stats, SortStats};
 
 #[cfg(test)]

@@ -65,8 +65,10 @@ where
     K: Ord + Copy,
     F: Fn(&T) -> K,
 {
+    let machine = input.machine().clone();
     let mut prev: Option<K> = None;
     for x in input.iter() {
+        machine.work(1);
         let k = key(&x);
         if let Some(p) = prev {
             if k < p {

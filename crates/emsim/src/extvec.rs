@@ -350,6 +350,27 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_appends_to_many_segments_stay_write_only() {
+        // The access pattern of a k-way distribution scan: one input stream
+        // read sequentially while k output arrays grow in round-robin. As
+        // long as every open segment keeps its tail block cached (frames >
+        // k + 1), the appends must never trigger read-modify-write I/Os.
+        let m = Machine::new(EmConfig::new(64 * 12, 64)); // 12 frames
+        let input = ExtVec::from_slice(&m, &(0..64u64 * 20).collect::<Vec<_>>());
+        m.cold_cache();
+        let before = m.io();
+        let mut outs: Vec<ExtVec<u64>> = (0..8).map(|_| ExtVec::new(&m)).collect();
+        for x in input.iter() {
+            outs[(x % 8) as usize].push(x);
+        }
+        let reads = m.io().reads - before.reads;
+        assert_eq!(reads, 20, "only the input scan may read blocks");
+        for (i, o) in outs.iter().enumerate() {
+            assert_eq!(o.len(), 160, "bucket {i}");
+        }
+    }
+
+    #[test]
     #[should_panic]
     fn out_of_bounds_get_panics() {
         let m = machine();

@@ -89,6 +89,17 @@ impl MemLease {
         self.gauge.inner.borrow_mut().in_use -= fewer;
         self.words -= fewer;
     }
+
+    /// Grows or shrinks the lease to exactly `words` — convenient for
+    /// tracking a buffer whose size is re-measured periodically (e.g. the
+    /// memoised colour bits of the cache-oblivious recursion).
+    pub fn resize(&mut self, words: u64) {
+        if words > self.words {
+            self.grow(words - self.words);
+        } else {
+            self.shrink(self.words - words);
+        }
+    }
 }
 
 impl Drop for MemLease {
@@ -132,6 +143,20 @@ mod tests {
         drop(l);
         assert_eq!(g.in_use(), 0);
         assert_eq!(g.peak(), 15);
+    }
+
+    #[test]
+    fn resize_moves_to_exact_target_in_both_directions() {
+        let g = MemGauge::new();
+        let mut l = g.lease(10);
+        l.resize(25);
+        assert_eq!(g.in_use(), 25);
+        assert_eq!(l.words(), 25);
+        l.resize(4);
+        assert_eq!(g.in_use(), 4);
+        l.resize(4);
+        assert_eq!(g.in_use(), 4);
+        assert_eq!(g.peak(), 25);
     }
 
     #[test]

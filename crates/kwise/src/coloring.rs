@@ -1,5 +1,8 @@
 //! Vertex colourings built from limited-independence hash functions.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+
 use crate::fourwise::FourWise;
 
 /// A random colouring `ξ : V → {0, …, c−1}` drawn from a 4-wise independent
@@ -38,34 +41,105 @@ impl RandomColoring {
 ///
 /// The refinement starts from the constant colouring `ξ_0 ≡ 1`; after `i`
 /// refinements the colour of a vertex lies in `[2^i·base − (2^i − 1), 2^i·base]`.
-/// Only the chosen bit functions are stored (`O(i)` words), so recomputing a
-/// vertex colour is cheap and no per-vertex table — which would not fit in
-/// internal memory — is ever needed.
+/// Only the chosen bit functions are stored (`O(i)` words), so no per-vertex
+/// table is ever *required* — a vertex colour is always recomputable from the
+/// `O(depth)` stored coefficients.
+///
+/// A memoised colouring (built with [`RefinedColoring::memoised`])
+/// additionally caches, per level, the bits it has already evaluated
+/// (`vertex → bit`), so repeated `color`/`bit` queries for the same vertex —
+/// the cache-oblivious recursion asks for every endpoint's colour at every
+/// level — cost a table lookup instead of re-running the whole degree-3
+/// polynomial chain. The memo is a transparent cache over a pure function of
+/// the stored coefficients: dropping it (or overflowing [`BIT_CACHE_LIMIT`],
+/// which clears the level) never changes any colour. Memoisation is
+/// **opt-in** because the memo is real in-core state: a caller on a
+/// simulated machine must account its footprint (via
+/// [`RefinedColoring::cached_bits`]) on the memory gauge, and callers that
+/// cannot afford a per-vertex table (the derandomized cache-aware driver)
+/// stay on the default recompute-from-`O(depth)`-words behaviour.
 #[derive(Debug, Clone, Default)]
 pub struct RefinedColoring {
-    bits: Vec<FourWise>,
+    levels: Vec<BitLevel>,
+    memoise: bool,
+}
+
+/// Entries per level above which a level's memo is cleared (bounds the
+/// in-core footprint; correctness never depends on the memo's contents).
+const BIT_CACHE_LIMIT: usize = 1 << 17;
+
+/// One refinement level: the chosen bit function plus its optional
+/// evaluation memo.
+#[derive(Debug, Clone)]
+struct BitLevel {
+    f: FourWise,
+    memo: Option<RefCell<HashMap<u32, bool>>>,
+}
+
+impl BitLevel {
+    fn new(f: FourWise, memoise: bool) -> Self {
+        Self {
+            f,
+            memo: memoise.then(|| RefCell::new(HashMap::new())),
+        }
+    }
+
+    fn bit(&self, v: u32) -> bool {
+        let Some(memo) = &self.memo else {
+            return self.f.eval_bit(u64::from(v));
+        };
+        let mut memo = memo.borrow_mut();
+        if let Some(&b) = memo.get(&v) {
+            return b;
+        }
+        let b = self.f.eval_bit(u64::from(v));
+        if memo.len() >= BIT_CACHE_LIMIT {
+            memo.clear();
+        }
+        memo.insert(v, b);
+        b
+    }
+
+    fn cached(&self) -> usize {
+        self.memo.as_ref().map_or(0, |m| m.borrow().len())
+    }
 }
 
 impl RefinedColoring {
     /// The identity (depth-0) refinement: every vertex keeps its base colour.
+    /// Colours are recomputed from the stored coefficients on every query.
     pub fn identity() -> Self {
-        Self { bits: Vec::new() }
+        Self {
+            levels: Vec::new(),
+            memoise: false,
+        }
+    }
+
+    /// The identity refinement with per-level bit memoisation enabled for
+    /// every subsequently pushed level (see the type-level docs for the
+    /// accounting obligation this creates).
+    pub fn memoised() -> Self {
+        Self {
+            levels: Vec::new(),
+            memoise: true,
+        }
     }
 
     /// Number of refinement levels applied.
     pub fn depth(&self) -> usize {
-        self.bits.len()
+        self.levels.len()
     }
 
-    /// Appends one refinement level using bit function `b`.
+    /// Appends one refinement level using bit function `b` (with a fresh,
+    /// empty evaluation memo when this colouring is memoised).
     pub fn push(&mut self, b: FourWise) {
-        self.bits.push(b);
+        self.levels.push(BitLevel::new(b, self.memoise));
     }
 
     /// Removes the most recent refinement level (used when backtracking out
-    /// of a recursion level).
+    /// of a recursion level), discarding its memoised bits.
     pub fn pop(&mut self) {
-        self.bits.pop();
+        self.levels.pop();
     }
 
     /// The colour of vertex `v` when the base colouring assigns `base`.
@@ -74,8 +148,8 @@ impl RefinedColoring {
     /// the value after applying every stored refinement level in order.
     pub fn color_of(&self, base: u64, v: u32) -> u64 {
         let mut c = base;
-        for b in &self.bits {
-            c = 2 * c - u64::from(b.eval_bit(v as u64));
+        for level in &self.levels {
+            c = 2 * c - u64::from(level.bit(v));
         }
         c
     }
@@ -88,7 +162,14 @@ impl RefinedColoring {
 
     /// The bit chosen for vertex `v` at refinement level `i` (0-based).
     pub fn bit(&self, i: usize, v: u32) -> bool {
-        self.bits[i].eval_bit(v as u64)
+        self.levels[i].bit(v)
+    }
+
+    /// Total number of memoised bit evaluations across all levels — the
+    /// in-core footprint (in entries ≈ words) a simulator-side caller should
+    /// register on its memory gauge. Always 0 for a non-memoised colouring.
+    pub fn cached_bits(&self) -> usize {
+        self.levels.iter().map(BitLevel::cached).sum()
     }
 }
 
@@ -146,6 +227,47 @@ mod tests {
         r.pop();
         assert_eq!(r.color(7), with_one);
         assert_eq!(r.depth(), 1);
+    }
+
+    #[test]
+    fn non_memoised_coloring_keeps_no_per_vertex_state() {
+        let fam = crate::BitFunctionFamily::new(2, 33);
+        let mut plain = RefinedColoring::identity();
+        let mut memo = RefinedColoring::memoised();
+        for i in 0..2 {
+            plain.push(fam.function(i));
+            memo.push(fam.function(i));
+        }
+        for v in 0..100u32 {
+            assert_eq!(plain.color(v), memo.color(v), "vertex {v}");
+        }
+        assert_eq!(plain.cached_bits(), 0, "identity() must not grow a table");
+        assert_eq!(memo.cached_bits(), 200);
+    }
+
+    #[test]
+    fn memoised_bits_agree_with_direct_evaluation_and_are_counted() {
+        let fam = crate::BitFunctionFamily::new(3, 21);
+        let mut r = RefinedColoring::memoised();
+        for i in 0..3 {
+            r.push(fam.function(i));
+        }
+        assert_eq!(r.cached_bits(), 0);
+        for v in 0..50u32 {
+            // First query populates the memo, second must hit it; both agree
+            // with evaluating the raw bit functions directly.
+            let first = r.color(v);
+            let second = r.color(v);
+            assert_eq!(first, second);
+            let mut expected = 1u64;
+            for i in 0..3 {
+                expected = 2 * expected - u64::from(fam.function(i).eval_bit(u64::from(v)));
+            }
+            assert_eq!(first, expected, "vertex {v}");
+        }
+        assert_eq!(r.cached_bits(), 150, "50 vertices x 3 levels");
+        r.pop();
+        assert_eq!(r.cached_bits(), 100, "popping a level drops its memo");
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Cross-algorithm oracle matrix: the three paper algorithms against the
+//! in-memory oracle over randomly drawn graph *families* (Erdős–Rényi,
+//! power-law, lollipop), a deterministic adversarial corpus, and a
+//! regression pin on the cache-oblivious recursion/work counters so the
+//! single-pass partitioning rewrite cannot silently regress.
+
+use emsim::EmConfig;
+use graphgen::{generators, naive, Graph};
+use proptest::prelude::*;
+use trienum::{count_triangles, Algorithm};
+
+/// The three paper algorithms, parameterised by a shared seed.
+fn paper_algorithms(seed: u64) -> [Algorithm; 3] {
+    [
+        Algorithm::CacheAwareRandomized { seed },
+        Algorithm::CacheObliviousRandomized { seed },
+        Algorithm::DeterministicCacheAware {
+            family_seed: seed,
+            candidates: Some(12),
+        },
+    ]
+}
+
+/// Strategy: a graph drawn from one of three structurally different
+/// families — sparse/dense ER, heavy-tailed power-law (hubs exercise the
+/// Lemma 1 paths), and lollipop (a clique glued to a path: dense core,
+/// trivial fringe).
+fn arb_family_graph() -> impl Strategy<Value = Graph> {
+    (0u8..3, 16u32..70, 30usize..350, 0u64..1_000_000).prop_map(|(family, n, m, seed)| match family
+    {
+        0 => generators::erdos_renyi(n as usize + 10, m, seed),
+        1 => generators::chung_lu_power_law(
+            n as usize + 30,
+            m.max(40),
+            2.0 + (seed % 8) as f64 * 0.15,
+            seed,
+        ),
+        _ => generators::lollipop((n as usize / 6).max(4), (n as usize / 2).max(2)),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn paper_algorithms_match_oracle_across_graph_families(
+        g in arb_family_graph(),
+        seed in 0u64..1000,
+    ) {
+        let expected = naive::count_triangles(&g);
+        let cfg = EmConfig::new(256, 32);
+        for alg in paper_algorithms(seed) {
+            let (got, report) = count_triangles(&g, alg, cfg);
+            prop_assert_eq!(got, expected, "algorithm {}", alg.name());
+            prop_assert_eq!(report.triangles, expected, "report of {}", alg.name());
+        }
+    }
+
+    #[test]
+    fn oblivious_and_aware_agree_with_each_other_under_memory_pressure(
+        g in arb_family_graph(),
+        seed in 0u64..100,
+    ) {
+        // Tiny memory (8 frames) forces deep recursions and many colour
+        // classes; the two randomized algorithms must still agree exactly.
+        let cfg = EmConfig::new(128, 16);
+        let (a, _) = count_triangles(&g, Algorithm::CacheAwareRandomized { seed }, cfg);
+        let (b, _) = count_triangles(&g, Algorithm::CacheObliviousRandomized { seed }, cfg);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Adversarial seeds and structured instances: boundary cases that stress
+/// specific invariants (the K16 high-degree boundary, hub-only graphs, a
+/// clique union with many equal degrees, the RMAT skew).
+#[test]
+fn adversarial_corpus_is_exact_for_every_paper_algorithm() {
+    let corpus: Vec<(&str, Graph)> = vec![
+        ("K16 boundary", generators::clique(16)),
+        ("K17 just past the boundary", generators::clique(17)),
+        (
+            "clique union, tied degrees",
+            generators::clique_union(4, 10),
+        ),
+        ("star plus pendant clique", {
+            let mut g = Graph::empty(40);
+            for v in 1..30u32 {
+                g.add_edge(0, v);
+            }
+            for a in 30..34u32 {
+                for b in (a + 1)..34 {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        }),
+        ("rmat skew", generators::rmat(8, 600, 0.55, 0.2, 0.15, 3)),
+        ("lollipop", generators::lollipop(12, 30)),
+    ];
+    let adversarial_seeds = [0u64, 1, 0xA11CE, 0xDEAD_BEEF, u64::MAX];
+    let cfg = EmConfig::new(256, 32);
+    for (name, g) in &corpus {
+        let expected = naive::count_triangles(g);
+        for &seed in &adversarial_seeds {
+            for alg in paper_algorithms(seed) {
+                let (got, _) = count_triangles(g, alg, cfg);
+                assert_eq!(got, expected, "{name}, seed {seed}, {}", alg.name());
+            }
+        }
+    }
+}
+
+/// Regression pin for the tentpole rewrite: the cache-oblivious recursion on
+/// the E7-quick instance must not exceed its post-rewrite counters. The run
+/// is fully deterministic (seeded generator, seeded colouring), so tight
+/// ceilings are safe.
+///
+/// Recorded 2026-07-30 on ER(500 vertices, 4000 edges, gen-seed 6) at
+/// `M = 4096, B = 64`, colouring seed `0xA11CE`:
+/// subproblems = 39 609, work/E^1.5 = 10.25, I/O = 5 381.
+/// (The pre-rewrite implementation: subproblems identical, work/E^1.5 ≈ 15.8
+/// at this size and ≈ 52.7 at E = 16000, I/O ≈ 2.4x higher.)
+#[test]
+fn cache_oblivious_counters_stay_within_post_rewrite_baseline() {
+    let g = generators::erdos_renyi(500, 4_000, 6);
+    let cfg = EmConfig::new(1 << 12, 64);
+    let (got, report) = count_triangles(
+        &g,
+        Algorithm::CacheObliviousRandomized { seed: 0xA11CE },
+        cfg,
+    );
+    assert_eq!(got, naive::count_triangles(&g));
+
+    let subproblems = report.extra("subproblems").expect("subproblems reported");
+    assert!(
+        subproblems <= 40_000.0,
+        "recursion tree grew: {subproblems} subproblems (baseline 39 609)"
+    );
+    assert!(
+        report.work_ratio() <= 11.5,
+        "work/E^1.5 = {:.2} exceeds the post-rewrite baseline 10.25 (+margin)",
+        report.work_ratio()
+    );
+    assert!(
+        (report.io.total() as f64) <= 1.25 * 5_381.0,
+        "I/O count {} regressed past the recorded 5 381 (+25%)",
+        report.io.total()
+    );
+    assert_eq!(
+        report.extra("high_degree_truncations"),
+        Some(0.0),
+        "the ≤16 high-degree invariant should never need enforcement on ER inputs"
+    );
+}
