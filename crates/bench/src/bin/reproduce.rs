@@ -48,6 +48,20 @@ fn main() {
                 &rows
             )
         );
+        // I/O-budget gate (wired into CI through the --quick smoke run and
+        // the full-size --exp e2 step): fail loudly if the cache-aware path
+        // regresses toward its old per-triple step-3 constant or loses the
+        // crossover against Hu-Tao-Chung.
+        match check_e2_io_budget(&rows) {
+            Ok(()) => println!(
+                "io-budget gate: cache-aware io/bound within ceiling \
+                 {CACHE_AWARE_IO_CEILING}, crossover >= 1.0 from E/M = 16"
+            ),
+            Err(msg) => {
+                eprintln!("io-budget gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
     if want("e3") {
         let configs: &[(usize, usize)] = if quick {

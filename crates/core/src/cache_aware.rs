@@ -16,17 +16,18 @@
 
 use emsim::{EmConfig, IoStats};
 use graphgen::{Edge, Triangle, VertexId};
-use kwise::RandomColoring;
+use kwise::{ColorMemo, RandomColoring};
 
 use crate::input::ExtGraph;
 use crate::lemma1::enumerate_through_vertex;
-use crate::lemma2::enumerate_with_pivots;
+use crate::lemma2::{enumerate_multi_cone, enumerate_with_pivots, ConeClasses};
 use crate::partition::ColorPartition;
 use crate::sink::TriangleSink;
 use crate::stats::PhaseRecorder;
 use crate::util::{
     degree_table, isqrt_u128, remove_incident_edges, vertices_with_degree, SortKind,
 };
+use crate::Step3Strategy;
 
 use emsim::ExtVec;
 
@@ -44,13 +45,22 @@ pub(crate) fn run_cache_aware_randomized(
     graph: &ExtGraph,
     cfg: EmConfig,
     seed: u64,
+    strategy: Step3Strategy,
     sink: &mut dyn TriangleSink,
     recorder: &mut PhaseRecorder,
 ) -> ColoredRunOutcome {
     let e = graph.edge_count();
     let c = number_of_colors(e, cfg.mem_words);
     let coloring = RandomColoring::new(c, seed);
-    run_colored(graph, cfg, c, &|v| coloring.color(v), sink, recorder)
+    run_colored(
+        graph,
+        cfg,
+        c,
+        &|v| coloring.color(v),
+        strategy,
+        sink,
+        recorder,
+    )
 }
 
 /// The number of colours `c = ⌈√(E/M)⌉` (at least 1), computed exactly in
@@ -97,11 +107,17 @@ pub(crate) fn split_high_low_degree(
 
 /// Shared driver for the randomized (Section 2) and derandomized (Section 4)
 /// cache-aware algorithms: everything except how the colouring is chosen.
+///
+/// Step 3 runs the strategy the caller picked: the production
+/// [`Step3Strategy::PivotGrouped`] loop, or the
+/// [`Step3Strategy::PerTripleReference`] loop the equivalence tests pin the
+/// production path against.
 pub(crate) fn run_colored(
     graph: &ExtGraph,
     cfg: EmConfig,
     c: u64,
     color: &dyn Fn(VertexId) -> u64,
+    strategy: Step3Strategy,
     sink: &mut dyn TriangleSink,
     recorder: &mut PhaseRecorder,
 ) -> ColoredRunOutcome {
@@ -137,29 +153,84 @@ pub(crate) fn run_colored(
 
     // ---- Step 2: colour and partition the low-degree edges. ----
     let before: IoStats = machine.io();
-    let partition = ColorPartition::build(&el, c, color);
+    // Memoise the colouring in an in-core table for the partition sort's key
+    // evaluations (for the derandomized colouring each raw evaluation walks
+    // a whole chain of degree-3 polynomials). Capacity is M/8 entries — at
+    // two words per entry the table is leased at ≤ M/4 for every M, so the
+    // memo can never act as hidden extra memory.
+    let memo = ColorMemo::new(color, (cfg.mem_words / 8).max(1));
+    let _memo_lease = machine
+        .gauge()
+        .lease(memo.capacity() as u64 * ColorMemo::WORDS_PER_ENTRY);
+    let memo_color = |v: VertexId| memo.color(v);
+    let partition = ColorPartition::build(&el, c, &memo_color);
     drop(el);
     let _index_lease = machine.gauge().lease(partition.index_words());
     let x_statistic = partition.x_statistic();
     recorder.record("step2_partition", before, machine.io());
 
-    // ---- Step 3: one Lemma 2 invocation per colour triple. ----
+    // ---- Step 3: enumerate the colour triples against Lemma 2. ----
     let before: IoStats = machine.io();
-    for t1 in 0..c {
-        for t2 in 0..c {
-            for t3 in 0..c {
-                if partition.class_len(t2, t3) == 0 {
-                    continue;
+    match strategy {
+        Step3Strategy::PivotGrouped => {
+            // Group the `c³` triples by their pivot colour pair `(τ2, τ3)`:
+            // the pivot class is handed to Lemma 2 as a zero-copy view and
+            // each of its chunks is loaded and indexed once for all `c` cone
+            // colours, instead of once per `(τ1, τ2, τ3)`.
+            for t2 in 0..c {
+                for t3 in 0..c {
+                    // Skip-fast: an empty pivot class is rejected on the
+                    // in-core offset table before any allocation.
+                    if partition.class_len(t2, t3) == 0 {
+                        continue;
+                    }
+                    let pivots = partition.class_slice(t2, t3);
+                    let mut cones: Vec<ConeClasses> = Vec::new();
+                    for t1 in 0..c {
+                        let mut ranges = Vec::new();
+                        if partition.class_len(t1, t2) > 0 {
+                            ranges.push(partition.class_slice(t1, t2));
+                        }
+                        // E_{τ1,τ2} and E_{τ1,τ3} coincide when τ2 = τ3.
+                        if t3 != t2 && partition.class_len(t1, t3) > 0 {
+                            ranges.push(partition.class_slice(t1, t3));
+                        }
+                        // Skip-fast: a cone colour with no candidate cone
+                        // edges cannot contribute a triangle. (Pivot-internal
+                        // triangles survive this guard: their cone colour is
+                        // τ2, whose ranges include the non-empty pivot class.)
+                        if ranges.is_empty() {
+                            continue;
+                        }
+                        cones.push(ConeClasses { ranges });
+                    }
+                    // The cone table is O(c) in-core words of view metadata.
+                    let _cone_lease = machine.gauge().lease((cones.len() * 4) as u64);
+                    triangles += enumerate_multi_cone(pivots, &cones, cfg.mem_words, sink);
                 }
-                let pivots = partition.extract_class(t2, t3);
-                let edge_set = partition.union_sorted(&[(t1, t2), (t1, t3), (t2, t3)]);
-                triangles += enumerate_with_pivots(
-                    &edge_set,
-                    &pivots,
-                    cfg.mem_words,
-                    |t: Triangle| color(t.a) == t1,
-                    sink,
-                );
+            }
+        }
+        Step3Strategy::PerTripleReference => {
+            // The pre-grouping loop: one Lemma 2 invocation per colour
+            // triple, with materialised pivot copies, per-triple re-merged
+            // edge sets and a per-triangle cone-colour filter.
+            for t1 in 0..c {
+                for t2 in 0..c {
+                    for t3 in 0..c {
+                        if partition.class_len(t2, t3) == 0 {
+                            continue;
+                        }
+                        let pivots = partition.extract_class(t2, t3);
+                        let edge_set = partition.union_sorted(&[(t1, t2), (t1, t3), (t2, t3)]);
+                        triangles += enumerate_with_pivots(
+                            &edge_set,
+                            &pivots,
+                            cfg.mem_words,
+                            |t: Triangle| memo_color(t.a) == t1,
+                            sink,
+                        );
+                    }
+                }
             }
         }
     }
@@ -206,7 +277,14 @@ mod tests {
         let before = machine.io().total();
         let mut sink = StrictSink::new();
         let mut rec = PhaseRecorder::new();
-        let out = run_cache_aware_randomized(&eg, cfg, seed, &mut sink, &mut rec);
+        let out = run_cache_aware_randomized(
+            &eg,
+            cfg,
+            seed,
+            Step3Strategy::PivotGrouped,
+            &mut sink,
+            &mut rec,
+        );
         (out.triangles, machine.io().total() - before, out)
     }
 
@@ -336,6 +414,106 @@ mod tests {
         assert!(
             ratio < 60.0,
             "cache-aware used {ios} I/Os = {ratio:.1}x the E^1.5/(sqrt(M)B) bound"
+        );
+    }
+
+    #[test]
+    fn all_one_color_coloring_enumerates_pivot_internal_triangles_exactly_once() {
+        // Regression for the skip-fast cone guard: with every vertex coloured
+        // 0 (but c = 3 declared colours), only the (0,0) pivot class is
+        // non-empty, cone colours 1 and 2 must be skipped, and the
+        // pivot-internal triangles of class (0,0) must be emitted exactly
+        // once — both by the pivot-grouped loop and the reference loop.
+        let g = generators::erdos_renyi(120, 900, 8);
+        let expected = naive::count_triangles(&g);
+        let cfg = EmConfig::new(256, 32);
+        for strategy in [
+            Step3Strategy::PivotGrouped,
+            Step3Strategy::PerTripleReference,
+        ] {
+            let machine = Machine::new(cfg);
+            let eg = ExtGraph::load(&machine, &g);
+            let mut sink = StrictSink::new(); // panics on duplicate emission
+            let mut rec = PhaseRecorder::new();
+            let out = run_colored(&eg, cfg, 3, &|_| 0, strategy, &mut sink, &mut rec);
+            assert_eq!(out.triangles, expected, "{strategy:?}");
+            assert_eq!(sink.len() as u64, expected, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn pivot_grouped_and_reference_step3_agree_under_memory_pressure() {
+        for seed in [1u64, 4] {
+            let g = generators::chung_lu_power_law(300, 2000, 2.1, seed);
+            let cfg = EmConfig::new(128, 16); // tiny memory: many colours
+            let collect = |strategy: Step3Strategy| {
+                let machine = Machine::new(cfg);
+                let eg = ExtGraph::load(&machine, &g);
+                let mut sink = crate::sink::CollectingSink::new();
+                let mut rec = PhaseRecorder::new();
+                let out = run_cache_aware_randomized(&eg, cfg, seed, strategy, &mut sink, &mut rec);
+                let mut ts = sink.into_triangles();
+                ts.sort_unstable();
+                (out.triangles, ts)
+            };
+            let (n_new, t_new) = collect(Step3Strategy::PivotGrouped);
+            let (n_old, t_old) = collect(Step3Strategy::PerTripleReference);
+            assert_eq!(n_new, n_old, "seed {seed}");
+            assert_eq!(t_new, t_old, "seed {seed}");
+            assert_eq!(n_new, naive::count_triangles(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn run_peak_memory_stays_within_budget_even_at_tiny_m() {
+        // The colour memo, partition index, merge heads and Lemma 2 chunk
+        // leases must jointly respect the budget at small M too (the memo
+        // capacity scales with M — a fixed floor would swallow the whole
+        // budget here).
+        let g = generators::erdos_renyi(300, 2000, 5);
+        let cfg = EmConfig::new(128, 16);
+        let machine = Machine::new(cfg);
+        let eg = ExtGraph::load(&machine, &g);
+        machine.gauge().reset_peak();
+        let mut sink = StrictSink::new();
+        let mut rec = PhaseRecorder::new();
+        let out = run_cache_aware_randomized(
+            &eg,
+            cfg,
+            2,
+            Step3Strategy::PivotGrouped,
+            &mut sink,
+            &mut rec,
+        );
+        assert_eq!(out.triangles, naive::count_triangles(&g));
+        assert!(
+            machine.gauge().peak() <= 2 * cfg.mem_words as u64,
+            "peak in-core usage {} exceeds 2M = {}",
+            machine.gauge().peak(),
+            2 * cfg.mem_words
+        );
+    }
+
+    #[test]
+    fn pivot_grouped_step3_does_less_io_than_the_reference() {
+        let g = generators::erdos_renyi(600, 12_000, 2);
+        let cfg = EmConfig::new(512, 32);
+        let io_of = |strategy: Step3Strategy| {
+            let machine = Machine::new(cfg);
+            let eg = ExtGraph::load(&machine, &g);
+            machine.cold_cache();
+            let before = machine.io().total();
+            let mut sink = StrictSink::new();
+            let mut rec = PhaseRecorder::new();
+            run_cache_aware_randomized(&eg, cfg, 7, strategy, &mut sink, &mut rec);
+            machine.io().total() - before
+        };
+        let grouped = io_of(Step3Strategy::PivotGrouped);
+        let reference = io_of(Step3Strategy::PerTripleReference);
+        assert!(
+            (grouped as f64) < 0.8 * reference as f64,
+            "pivot grouping should cut step-3 I/O well below the per-triple \
+             loop (grouped={grouped}, reference={reference})"
         );
     }
 

@@ -21,6 +21,7 @@ use crate::input::ExtGraph;
 use crate::potential::evaluate_candidates;
 use crate::sink::TriangleSink;
 use crate::stats::PhaseRecorder;
+use crate::Step3Strategy;
 
 /// Extra information reported by a derandomized run.
 #[derive(Debug, Clone)]
@@ -47,6 +48,7 @@ pub(crate) fn run_derandomized(
     cfg: EmConfig,
     family_seed: u64,
     candidate_override: Option<usize>,
+    strategy: Step3Strategy,
     sink: &mut dyn TriangleSink,
     recorder: &mut PhaseRecorder,
 ) -> (ColoredRunOutcome, DerandInfo) {
@@ -102,7 +104,7 @@ pub(crate) fn run_derandomized(
     // The refined colouring assigns values in [1, c]; the shared driver
     // expects colours in [0, c).
     let color = move |v: u32| coloring.color(v) - 1;
-    let outcome = run_colored(graph, cfg, c, &color, sink, recorder);
+    let outcome = run_colored(graph, cfg, c, &color, strategy, sink, recorder);
 
     (
         outcome,
@@ -128,7 +130,15 @@ mod tests {
         let eg = ExtGraph::load(&machine, g);
         let mut sink = StrictSink::new();
         let mut rec = PhaseRecorder::new();
-        let (out, info) = run_derandomized(&eg, cfg, 1, Some(24), &mut sink, &mut rec);
+        let (out, info) = run_derandomized(
+            &eg,
+            cfg,
+            1,
+            Some(24),
+            Step3Strategy::default(),
+            &mut sink,
+            &mut rec,
+        );
         (out.triangles, out, info)
     }
 

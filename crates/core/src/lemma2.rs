@@ -3,29 +3,180 @@
 //!
 //! The subroutine proceeds in iterations. Each iteration loads `αM` new
 //! pivot edges into internal memory, together with an index of their
-//! endpoints (`Γ_mem`); it then scans the whole edge set once, and for every
-//! vertex `v` computes `Γ_v = {u | (v,u) ∈ E, u > v, u ∈ Γ_mem}` — possible
-//! in one scan because the canonical edge list stores each vertex's
+//! endpoints (`Γ_mem`); it then scans the relevant edge set once, and for
+//! every vertex `v` computes `Γ_v = {u | (v,u) ∈ E, u > v, u ∈ Γ_mem}` —
+//! possible in one scan because the canonical edge list stores each vertex's
 //! higher-ordered neighbours consecutively. Every memory-resident pivot edge
 //! `{u, w}` with `u, w ∈ Γ_v` closes the triangle `{v, u, w}` (cone `v`,
 //! pivot `{u, w}`), which is emitted while all three edges are in memory.
 //!
-//! This is both a building block of the paper's algorithms (step 3 of the
-//! cache-aware algorithms applies it per colour triple) and — applied with
-//! `E' = E` — the Hu–Tao–Chung baseline that the paper improves upon.
+//! Two entry points share the machinery:
+//!
+//! * [`enumerate_with_pivots`] — the literal lemma (one edge set, one pivot
+//!   set, an arbitrary triangle filter). Applied with `E' = E` it is the
+//!   Hu–Tao–Chung baseline the paper improves upon.
+//! * [`enumerate_multi_cone`] — the pivot-grouped form used by step 3 of the
+//!   cache-aware algorithms: the pivot chunk and its indexes are built
+//!   **once** per chunk and then every cone colour's (one or two) class
+//!   views are streamed against it, instead of re-loading the chunk and
+//!   re-merging edge sets once per colour triple. Cone dispatch is by
+//!   construction (each cone scan only ever sees edges whose smaller
+//!   endpoint has that cone colour), so no per-triangle colour filter runs.
+//!
+//! The in-memory chunk indexes are pure sorted-vec + binary-search
+//! structures — no hashing anywhere in the per-vertex `Γ_v` loop.
 
-use std::collections::{HashMap, HashSet};
-
-use emsim::{ExtVec, Machine};
+use emsim::{ExtSlice, ExtVec, Machine, MemLease};
 use graphgen::{Edge, Triangle, VertexId};
 
 use crate::sink::TriangleSink;
 
 /// Fraction of the memory budget devoted to one chunk of pivot edges. The
-/// chunk itself, its endpoint set, its adjacency index and the per-vertex
-/// `Γ_v` buffer together stay within the budget (see the accounting in the
-/// unit tests).
+/// chunk itself, its endpoint set and the per-vertex `Γ_v` buffer together
+/// stay within the budget (see the accounting in the unit tests).
 const CHUNK_DIVISOR: usize = 8;
+
+/// The (one or two) sorted colour-class views holding every potential cone
+/// edge of one cone colour — the input [`enumerate_multi_cone`] streams
+/// against each pivot chunk. The views must be sorted by `(u, v)` and
+/// pairwise disjoint (colour classes are).
+pub(crate) struct ConeClasses<'a> {
+    /// The class views `E_{τ1,τ2}` and `E_{τ1,τ3}` (deduplicated when
+    /// `τ2 = τ3`, empties omitted by the caller).
+    pub ranges: Vec<ExtSlice<'a, Edge>>,
+}
+
+/// One in-memory chunk of ≤ `αM` pivot edges with its probe indexes, built
+/// once and scanned against by every cone stream:
+///
+/// * `edges` — the chunk itself, sorted by `(u, v)`; the adjacency of an
+///   endpoint `u` is the run `edges[lo..hi]` located by binary search, so no
+///   separate adjacency map is materialised.
+/// * `endpoints` — `Γ_mem`, the sorted, deduplicated endpoint set, with
+///   membership by binary search.
+struct PivotChunk {
+    edges: Vec<Edge>,
+    endpoints: Vec<VertexId>,
+}
+
+impl PivotChunk {
+    /// Loads pivot edges `[start, end)` of `pivots` and builds the indexes,
+    /// returning the chunk together with its gauge lease (chunk words plus
+    /// endpoint words).
+    fn load(
+        machine: &Machine,
+        pivots: &ExtSlice<'_, Edge>,
+        start: usize,
+        end: usize,
+    ) -> (Self, MemLease) {
+        let mut edges: Vec<Edge> = pivots.slice(start, end).load();
+        machine.work(edges.len() as u64);
+        if !edges.is_sorted() {
+            // Callers normally hand over sorted ranges; the lemma itself
+            // only requires a set, so establish the order locally.
+            machine.work(edges.len() as u64 * (usize::BITS - edges.len().leading_zeros()) as u64);
+            edges.sort_unstable();
+        }
+        let mut endpoints: Vec<VertexId> = Vec::with_capacity(edges.len() * 2);
+        for e in &edges {
+            endpoints.push(e.u);
+            endpoints.push(e.v);
+            machine.work(1);
+        }
+        machine
+            .work(endpoints.len() as u64 * (usize::BITS - endpoints.len().leading_zeros()) as u64);
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        let lease = machine
+            .gauge()
+            .lease((edges.len() + endpoints.len()) as u64);
+        (Self { edges, endpoints }, lease)
+    }
+
+    /// Whether `v` is an endpoint of some pivot edge in the chunk (`Γ_mem`).
+    fn contains(&self, v: VertexId) -> bool {
+        self.endpoints.binary_search(&v).is_ok()
+    }
+
+    /// The chunk pivot edges whose smaller endpoint is `u`, as the sorted
+    /// run of their larger endpoints.
+    fn neighbors_of(&self, u: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        let lo = self.edges.partition_point(|e| e.u < u);
+        let hi = self.edges.partition_point(|e| e.u <= u);
+        self.edges[lo..hi].iter().map(|e| e.v)
+    }
+}
+
+/// Closes every triangle `{v} ∪ {u, w}` with `{u, w}` a chunk pivot and
+/// `u, w ∈ Γ_v`, forwarding those passing `filter` to `sink`. `gamma_v` is
+/// sorted ascending (the scan produces it in `(u, v)` order), so the inner
+/// membership probe is a binary search.
+fn close_group(
+    machine: &Machine,
+    chunk: &PivotChunk,
+    v: VertexId,
+    gamma_v: &[VertexId],
+    filter: &mut dyn FnMut(Triangle) -> bool,
+    sink: &mut dyn TriangleSink,
+) -> u64 {
+    if gamma_v.len() < 2 {
+        return 0;
+    }
+    let mut emitted = 0u64;
+    for &u in gamma_v {
+        for w in chunk.neighbors_of(u) {
+            machine.work(1);
+            if w != v && gamma_v.binary_search(&w).is_ok() {
+                // All three edges are memory-resident at this point: {u,w}
+                // is in the pivot chunk, and {v,u}, {v,w} were just read
+                // while building Γ_v.
+                let t = Triangle::new(v, u, w);
+                if filter(t) {
+                    sink.emit(t);
+                    emitted += 1;
+                }
+            }
+        }
+    }
+    emitted
+}
+
+/// Scans one sorted edge stream against a pivot chunk: groups the stream by
+/// its smaller endpoint `v`, collects `Γ_v`, and closes the groups'
+/// triangles. The transient `Γ_v` buffer is gauge-accounted; it never
+/// exceeds `|Γ_mem|`, so it stays within the chunk's memory budget.
+fn scan_against_chunk(
+    machine: &Machine,
+    chunk: &PivotChunk,
+    edges: impl Iterator<Item = Edge>,
+    filter: &mut dyn FnMut(Triangle) -> bool,
+    sink: &mut dyn TriangleSink,
+) -> u64 {
+    let mut emitted = 0u64;
+    let mut gamma_lease = machine.gauge().lease(0);
+    let mut current_v: Option<VertexId> = None;
+    let mut gamma_v: Vec<VertexId> = Vec::new();
+
+    for e in edges {
+        machine.work(1);
+        if current_v != Some(e.u) {
+            if let Some(v) = current_v {
+                emitted += close_group(machine, chunk, v, &gamma_v, filter, sink);
+            }
+            gamma_v.clear();
+            gamma_lease.shrink(gamma_lease.words());
+            current_v = Some(e.u);
+        }
+        if chunk.contains(e.v) {
+            gamma_v.push(e.v);
+            gamma_lease.grow(1);
+        }
+    }
+    if let Some(v) = current_v {
+        emitted += close_group(machine, chunk, v, &gamma_v, filter, sink);
+    }
+    emitted
+}
 
 /// Enumerates every triangle of `edge_set` whose pivot edge belongs to
 /// `pivots`, filtered by `filter`, and returns the number emitted.
@@ -43,82 +194,57 @@ pub(crate) fn enumerate_with_pivots(
 ) -> u64 {
     let machine: Machine = edge_set.machine().clone();
     let chunk_edges = (mem_words / CHUNK_DIVISOR).max(1);
+    let pview = pivots.as_slice();
     let mut emitted = 0u64;
 
     let mut start = 0usize;
     while start < pivots.len() {
         let end = (start + chunk_edges).min(pivots.len());
+        let (chunk, _lease) = PivotChunk::load(&machine, &pview, start, end);
+        emitted += scan_against_chunk(&machine, &chunk, edge_set.iter(), &mut filter, sink);
+        start = end;
+    }
+    emitted
+}
 
-        // ---- Load the chunk and build its in-memory indexes. ----
-        let chunk: Vec<Edge> = pivots.load_range(start, end);
-        // Words: chunk (1/edge) + Γ_mem (≤2/edge) + adjacency (≤2/edge).
-        let lease_words = (chunk.len() * 5) as u64;
-        let _lease = machine.gauge().lease(lease_words);
+/// The pivot-grouped form of Lemma 2 used by step 3 of the cache-aware
+/// algorithms: enumerates, for every cone input, every triangle whose pivot
+/// edge lies in `pivots` and whose cone edges lie in that input's class
+/// views, and returns the number emitted.
+///
+/// Each pivot chunk is loaded and indexed **once**, then all cone inputs are
+/// streamed against it (their views merged on the fly by the streaming
+/// k-way merge — nothing is materialised). Because a cone input's views
+/// hold exactly the candidate cone edges of one cone colour, every emitted
+/// triangle's cone vertex has that colour by construction and no filter is
+/// evaluated.
+///
+/// Requirements: `pivots` and every view in `cones` are sorted by `(u, v)`;
+/// the views of one cone input are pairwise disjoint; `mem_words` is the
+/// memory budget `M` in words.
+pub(crate) fn enumerate_multi_cone(
+    pivots: ExtSlice<'_, Edge>,
+    cones: &[ConeClasses<'_>],
+    mem_words: usize,
+    sink: &mut dyn TriangleSink,
+) -> u64 {
+    let machine: Machine = pivots.machine().clone();
+    let chunk_edges = (mem_words / CHUNK_DIVISOR).max(1);
+    let mut emitted = 0u64;
+    let mut keep_all = |_: Triangle| true;
 
-        let mut gamma_mem: HashSet<VertexId> = HashSet::with_capacity(chunk.len() * 2);
-        let mut chunk_adj: HashMap<VertexId, Vec<VertexId>> = HashMap::with_capacity(chunk.len());
-        for e in &chunk {
-            gamma_mem.insert(e.u);
-            gamma_mem.insert(e.v);
-            chunk_adj.entry(e.u).or_default().push(e.v);
-            machine.work(1);
+    let mut start = 0usize;
+    while start < pivots.len() {
+        let end = (start + chunk_edges).min(pivots.len());
+        let (chunk, _lease) = PivotChunk::load(&machine, &pivots, start, end);
+        for cone in cones {
+            let merged = emalgo::kway_merge(
+                &machine,
+                cone.ranges.iter().map(|r| r.iter()).collect(),
+                |e: &Edge| (e.u, e.v),
+            );
+            emitted += scan_against_chunk(&machine, &chunk, merged, &mut keep_all, sink);
         }
-
-        // ---- One scan of the edge set, grouped by the smaller endpoint. ----
-        // Γ_v never exceeds |Γ_mem| ≤ 2·chunk, so the transient buffer is
-        // within the same memory budget; account for it explicitly.
-        let mut gamma_lease = machine.gauge().lease(0);
-        let mut current_v: Option<VertexId> = None;
-        let mut gamma_v: Vec<VertexId> = Vec::new();
-
-        let process_group = |v: VertexId,
-                             gamma_v: &mut Vec<VertexId>,
-                             emitted: &mut u64,
-                             filter: &mut dyn FnMut(Triangle) -> bool,
-                             sink: &mut dyn TriangleSink| {
-            if gamma_v.len() < 2 {
-                gamma_v.clear();
-                return;
-            }
-            let gamma_set: HashSet<VertexId> = gamma_v.iter().copied().collect();
-            for &u in gamma_v.iter() {
-                if let Some(ws) = chunk_adj.get(&u) {
-                    for &w in ws {
-                        machine.work(1);
-                        if w != v && gamma_set.contains(&w) {
-                            // All three edges are memory-resident at this
-                            // point: {u,w} is in the pivot chunk, and {v,u},
-                            // {v,w} were just read while building Γ_v.
-                            let t = Triangle::new(v, u, w);
-                            if filter(t) {
-                                sink.emit(t);
-                                *emitted += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            gamma_v.clear();
-        };
-
-        for e in edge_set.iter() {
-            machine.work(1);
-            if current_v != Some(e.u) {
-                if let Some(v) = current_v {
-                    process_group(v, &mut gamma_v, &mut emitted, &mut filter, sink);
-                }
-                current_v = Some(e.u);
-                gamma_lease.shrink(gamma_lease.words());
-            }
-            if gamma_mem.contains(&e.v) {
-                gamma_v.push(e.v);
-                gamma_lease.grow(1);
-            }
-        }
-        if let Some(v) = current_v {
-            process_group(v, &mut gamma_v, &mut emitted, &mut filter, sink);
-        }
-
         start = end;
     }
     emitted
@@ -188,6 +314,22 @@ mod tests {
     }
 
     #[test]
+    fn unsorted_pivot_sets_are_indexed_correctly() {
+        // The lemma only needs the pivot *set*; a caller handing over an
+        // unsorted array must still get every triangle.
+        let g = generators::erdos_renyi(50, 350, 9);
+        let machine = Machine::new(EmConfig::new(1 << 10, 64));
+        let edges = canonical_ext(&g, &machine);
+        let mut shuffled: Vec<Edge> = g.edges().to_vec();
+        shuffled.sort_unstable();
+        shuffled.reverse();
+        let pivots = ExtVec::from_slice(&machine, &shuffled);
+        let mut sink = StrictSink::new();
+        let n = enumerate_with_pivots(&edges, &pivots, 1 << 10, |_| true, &mut sink);
+        assert_eq!(n, naive::count_triangles(&g));
+    }
+
+    #[test]
     fn io_scales_with_number_of_chunks() {
         // Doubling memory should roughly halve the number of chunk passes
         // over the edge set: the E'·E/(MB) term of Lemma 2.
@@ -236,5 +378,89 @@ mod tests {
             0
         );
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn multi_cone_with_whole_edge_set_matches_the_plain_lemma() {
+        // One cone input holding the whole edge set and pivots = everything
+        // must reproduce the Hu–Tao–Chung behaviour exactly.
+        for seed in [4u64, 6] {
+            let g = generators::erdos_renyi(70, 520, seed);
+            let machine = Machine::new(EmConfig::new(512, 32));
+            let edges = canonical_ext(&g, &machine);
+            let mut sink = StrictSink::new();
+            let cones = [ConeClasses {
+                ranges: vec![edges.as_slice()],
+            }];
+            let n = enumerate_multi_cone(edges.as_slice(), &cones, 512, &mut sink);
+            assert_eq!(n, naive::count_triangles(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multi_cone_merges_split_views_and_respects_budget() {
+        // Split the edge set into two interleaved sorted halves handed over
+        // as one cone's two views: the on-the-fly merge must reconstruct
+        // the full cone-edge stream, within the memory budget.
+        let g = generators::erdos_renyi(90, 700, 12);
+        let mem = 512usize;
+        let machine = Machine::new(EmConfig::new(mem, 32));
+        let edges = canonical_ext(&g, &machine);
+        let all: Vec<Edge> = edges.load_all();
+        let half_a: Vec<Edge> = all.iter().copied().step_by(2).collect();
+        let half_b: Vec<Edge> = all.iter().copied().skip(1).step_by(2).collect();
+        let a = ExtVec::from_slice(&machine, &half_a);
+        let b = ExtVec::from_slice(&machine, &half_b);
+        machine.gauge().reset_peak();
+        let mut sink = StrictSink::new();
+        let cones = [ConeClasses {
+            ranges: vec![a.as_slice(), b.as_slice()],
+        }];
+        let n = enumerate_multi_cone(edges.as_slice(), &cones, mem, &mut sink);
+        assert_eq!(n, naive::count_triangles(&g));
+        assert!(
+            machine.gauge().peak() <= (mem + mem / 2) as u64,
+            "peak in-core usage {} exceeds 1.5·M = {}",
+            machine.gauge().peak(),
+            mem + mem / 2
+        );
+    }
+
+    #[test]
+    fn multi_cone_loads_each_pivot_chunk_once_for_all_cones() {
+        // The point of pivot grouping: with k cone inputs the pivot chunk is
+        // read once, not k times. Compare pivot-side read volume against
+        // running the plain lemma k times.
+        let g = generators::erdos_renyi(150, 2500, 3);
+        let mem = 256usize;
+        let machine = Machine::new(EmConfig::new(mem, 32));
+        let edges = canonical_ext(&g, &machine);
+        let k = 6usize;
+
+        machine.cold_cache();
+        let before = machine.io().total();
+        let cones: Vec<ConeClasses> = (0..k)
+            .map(|_| ConeClasses {
+                ranges: vec![edges.as_slice()],
+            })
+            .collect();
+        let mut sink = CollectingSink::new();
+        let grouped = enumerate_multi_cone(edges.as_slice(), &cones, mem, &mut sink);
+        let grouped_io = machine.io().total() - before;
+
+        machine.cold_cache();
+        let before = machine.io().total();
+        let mut sink2 = CollectingSink::new();
+        let mut repeated = 0;
+        for _ in 0..k {
+            repeated += enumerate_with_pivots(&edges, &edges, mem, |_| true, &mut sink2);
+        }
+        let repeated_io = machine.io().total() - before;
+
+        assert_eq!(grouped, repeated);
+        assert!(
+            grouped_io < repeated_io,
+            "pivot grouping must not cost more I/O ({grouped_io} vs {repeated_io})"
+        );
     }
 }

@@ -135,6 +135,27 @@ impl Algorithm {
     }
 }
 
+/// Which implementation of the cache-aware algorithms' step 3 (the
+/// colour-triple enumeration) a run uses.
+///
+/// Hidden from the public API: the production path is always
+/// [`Step3Strategy::PivotGrouped`]; the per-triple loop is retained solely
+/// so the test-suite can pin the two bit-identical (same triangle multiset,
+/// same counts) across graph families and drivers.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Step3Strategy {
+    /// Group the `c³` colour triples by pivot colour pair `(τ2, τ3)`: build
+    /// each pivot chunk's Lemma 2 indexes once and stream all `c` cone
+    /// colours' class views against it (zero-copy, no per-triangle filter).
+    #[default]
+    PivotGrouped,
+    /// The pre-grouping reference: one Lemma 2 invocation per colour triple,
+    /// with a materialised pivot copy, a re-merged edge set and a
+    /// per-triangle cone-colour filter each time.
+    PerTripleReference,
+}
+
 /// All algorithms, in the order the experiment tables list them.
 pub const ALL_ALGORITHMS: [Algorithm; 6] = [
     Algorithm::CacheAwareRandomized { seed: 0xC0FFEE },
@@ -176,6 +197,20 @@ pub fn enumerate_triangles(
     cfg: EmConfig,
     sink: &mut dyn TriangleSink,
 ) -> RunReport {
+    enumerate_triangles_with_step3(graph, algorithm, cfg, sink, Step3Strategy::default())
+}
+
+/// [`enumerate_triangles`] with an explicit [`Step3Strategy`] for the
+/// cache-aware algorithms (ignored by the others). Hidden: only the
+/// equivalence test-suite selects a non-default strategy.
+#[doc(hidden)]
+pub fn enumerate_triangles_with_step3(
+    graph: &Graph,
+    algorithm: Algorithm,
+    cfg: EmConfig,
+    sink: &mut dyn TriangleSink,
+    strategy: Step3Strategy,
+) -> RunReport {
     let machine = Machine::new(cfg);
     let ext = ExtGraph::load(&machine, graph);
     // Start from a cold cache and a clean slate of counters for the run
@@ -197,6 +232,7 @@ pub fn enumerate_triangles(
                     &ext,
                     cfg,
                     seed,
+                    strategy,
                     &mut translating,
                     &mut recorder,
                 );
@@ -217,6 +253,7 @@ pub fn enumerate_triangles(
                     cfg,
                     family_seed,
                     candidates,
+                    strategy,
                     &mut translating,
                     &mut recorder,
                 );

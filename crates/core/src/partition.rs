@@ -8,8 +8,8 @@
 //! (`c² ≤ E/M ≤ M` under the paper's assumptions, so the table respects the
 //! memory budget and is accounted on the gauge by the caller).
 
-use emalgo::external_sort_by_key;
-use emsim::ExtVec;
+use emalgo::{external_sort_by_key, kway_merge};
+use emsim::{ExtSlice, ExtVec};
 use graphgen::{Edge, VertexId};
 
 /// The partition of an edge set into colour classes.
@@ -30,20 +30,31 @@ impl ColorPartition {
         // lexicographically sorted range.
         let sorted = external_sort_by_key(el, |e| (class_of(e), e.u, e.v));
 
-        // One scan to find the class boundaries.
+        // Derive the class boundaries from the sorted run structure: each
+        // boundary is a partition point located by binary search (narrowed by
+        // the previous boundary), so finding all of them costs
+        // `O(c² log E)` colour probes against cached blocks instead of
+        // re-evaluating `class_of` — two hash chains — on every edge in a
+        // full second scan of the array.
         let classes = (c * c) as usize;
+        let n = sorted.len();
         let mut offsets = vec![0usize; classes + 1];
-        let mut counts = vec![0usize; classes];
-        for e in sorted.iter() {
-            machine.work(1);
-            counts[class_of(&e) as usize] += 1;
+        offsets[classes] = n;
+        for k in 1..classes {
+            // First index whose class is ≥ k; classes are sorted, so the
+            // search space starts at the previous boundary.
+            let (mut lo, mut hi) = (offsets[k - 1], n);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                machine.work(1);
+                if class_of(&sorted.get(mid)) < k as u64 {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            offsets[k] = lo;
         }
-        let mut acc = 0usize;
-        for (k, cnt) in counts.iter().enumerate() {
-            offsets[k] = acc;
-            acc += cnt;
-        }
-        offsets[classes] = acc;
 
         Self {
             edges: sorted,
@@ -70,54 +81,43 @@ impl ColorPartition {
         self.offsets.len() as u64
     }
 
+    /// Zero-copy view of class `(τ1, τ2)`: the class's contiguous,
+    /// lexicographically sorted range of the partition array. Creating the
+    /// view moves no blocks and registers nothing on the gauge — this is
+    /// what step 3 hands to the multi-cone Lemma 2 instead of copies.
+    pub(crate) fn class_slice(&self, t1: u64, t2: u64) -> ExtSlice<'_, Edge> {
+        let k = (t1 * self.c + t2) as usize;
+        self.edges.slice(self.offsets[k], self.offsets[k + 1])
+    }
+
     /// Copies class `(τ1, τ2)` into its own array (one scan of the class).
+    /// Kept for the per-triple reference implementation of step 3 and the
+    /// tests; the production path uses [`ColorPartition::class_slice`].
     pub(crate) fn extract_class(&self, t1: u64, t2: u64) -> ExtVec<Edge> {
         let machine = self.edges.machine().clone();
-        let k = (t1 * self.c + t2) as usize;
         let mut out: ExtVec<Edge> = ExtVec::new(&machine);
-        for e in self.edges.range(self.offsets[k], self.offsets[k + 1]) {
-            out.push(e);
-        }
+        out.extend(self.class_slice(t1, t2).iter());
         out
     }
 
     /// Merges the listed classes (given as ordered colour pairs, duplicates
     /// ignored) into a single lexicographically sorted edge array — the edge
-    /// set `E_{τ1,τ2} ∪ E_{τ1,τ3} ∪ E_{τ2,τ3}` that step 3 feeds to Lemma 2.
+    /// set `E_{τ1,τ2} ∪ E_{τ1,τ3} ∪ E_{τ2,τ3}` that the per-triple reference
+    /// step 3 feeds to Lemma 2, materialised via the streaming
+    /// [`emalgo::kway_merge`] (sequential cursors instead of per-element
+    /// best-of-k random probes).
     pub(crate) fn union_sorted(&self, pairs: &[(u64, u64)]) -> ExtVec<Edge> {
         let machine = self.edges.machine().clone();
         let mut distinct: Vec<(u64, u64)> = pairs.to_vec();
         distinct.sort_unstable();
         distinct.dedup();
 
-        // k-way merge (k ≤ 3) of the sorted class ranges by (u, v).
-        let mut cursors: Vec<(usize, usize)> = distinct
+        let cursors = distinct
             .iter()
-            .map(|&(a, b)| {
-                let k = (a * self.c + b) as usize;
-                (self.offsets[k], self.offsets[k + 1])
-            })
+            .map(|&(a, b)| self.class_slice(a, b).iter())
             .collect();
         let mut out: ExtVec<Edge> = ExtVec::new(&machine);
-        loop {
-            let mut best: Option<(usize, Edge)> = None;
-            for (idx, &(pos, end)) in cursors.iter().enumerate() {
-                if pos < end {
-                    let e = self.edges.get(pos);
-                    if best.is_none_or(|(_, be)| e < be) {
-                        best = Some((idx, e));
-                    }
-                }
-            }
-            match best {
-                Some((idx, e)) => {
-                    machine.work(1);
-                    out.push(e);
-                    cursors[idx].0 += 1;
-                }
-                None => break,
-            }
-        }
+        out.extend(kway_merge(&machine, cursors, |e: &Edge| (e.u, e.v)));
         out
     }
 
@@ -182,6 +182,32 @@ mod tests {
         assert!(u.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
         let expected = part.class_len(0, 1) + part.class_len(1, 2) + part.class_len(0, 2);
         assert_eq!(u.len(), expected);
+    }
+
+    #[test]
+    fn class_slices_are_zero_copy_and_agree_with_extraction() {
+        let (m, _el, part, _col) = setup(4, 7);
+        m.cold_cache();
+        let before = m.io().total();
+        let mut covered = 0usize;
+        for t1 in 0..4 {
+            for t2 in 0..4 {
+                let s = part.class_slice(t1, t2);
+                assert_eq!(s.len(), part.class_len(t1, t2));
+                covered += s.len();
+            }
+        }
+        assert_eq!(m.io().total(), before, "creating views must move no blocks");
+        assert_eq!(covered, part.total_edges());
+        for t1 in 0..4 {
+            for t2 in 0..4 {
+                assert_eq!(
+                    part.class_slice(t1, t2).load(),
+                    part.extract_class(t1, t2).load_all(),
+                    "class ({t1},{t2})"
+                );
+            }
+        }
     }
 
     #[test]

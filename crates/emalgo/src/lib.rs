@@ -14,6 +14,12 @@
 //!   from "any efficient cache-oblivious sorting algorithm" (funnelsort would
 //!   shave the base of the logarithm; the experiment harness reports the
 //!   sort share so the difference is visible and immaterial at our scales).
+//! * [`kway_merge`] — a **buffered streaming k-way merge**: one in-core head
+//!   element per sorted cursor (gauge-accounted), everything else streamed
+//!   through the block cache, yielding the merged order as an iterator
+//!   without materialising it. It is the merge pass of the cache-aware sort
+//!   and the on-the-fly colour-class union of the cache-aware triangle
+//!   algorithms' step 3.
 //! * [`merge_sorted`], [`scan_filter`], [`is_sorted_by_key`], [`dedup_sorted`]
 //!   — scanning utilities with the obvious `O(n/B)` costs.
 //! * [`scan_partition`] — a **multi-way single-pass partition**: every
@@ -33,7 +39,7 @@ mod oblivious;
 mod partition;
 mod sort;
 
-pub use merge::{dedup_sorted, is_sorted_by_key, merge_sorted, scan_filter};
+pub use merge::{dedup_sorted, is_sorted_by_key, kway_merge, merge_sorted, scan_filter, KWayMerge};
 pub use oblivious::oblivious_sort_by_key;
 pub use partition::{scan_partition, MAX_PARTITION_BUCKETS};
 pub use sort::{external_sort_by_key, external_sort_by_key_with_stats, SortStats};

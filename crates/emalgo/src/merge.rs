@@ -1,9 +1,106 @@
 //! Scanning utilities: merging, filtering, deduplication.
 
-use emsim::{ExtVec, Record};
+use emsim::{ExtVec, Machine, MemLease, Record, ScanReader};
+
+/// A streaming `k`-way merge over sorted sequential cursors.
+///
+/// Holds exactly one in-core head element per cursor (the `O(k)`-word state is
+/// registered on the machine's [`emsim::MemGauge`] for the merger's lifetime);
+/// everything else streams through the block cache, so with `k ≤ M/B − 1` each
+/// cursor keeps its current block resident and a full merge of `n` elements
+/// costs `O(n/B)` read I/Os. Produced elements are yielded in `key` order
+/// (ties broken by cursor index, making the merge stable across cursors)
+/// without ever being materialised — callers that want an array push the
+/// iterator into an [`ExtVec`], callers that want a pure stream (e.g. the
+/// cone-edge scans of the triangle algorithms) consume it element by element.
+pub struct KWayMerge<'a, T, K, F>
+where
+    T: Record,
+    K: Ord + Copy,
+    F: Fn(&T) -> K,
+{
+    machine: Machine,
+    cursors: Vec<ScanReader<'a, T>>,
+    heads: Vec<Option<(K, T)>>,
+    live: usize,
+    key: F,
+    _lease: MemLease,
+}
+
+/// Starts a streaming merge of the sorted `inputs` (see [`KWayMerge`]).
+/// Each input cursor must be sorted (non-decreasing) by `key`.
+pub fn kway_merge<'a, T, K, F>(
+    machine: &Machine,
+    inputs: Vec<ScanReader<'a, T>>,
+    key: F,
+) -> KWayMerge<'a, T, K, F>
+where
+    T: Record,
+    K: Ord + Copy,
+    F: Fn(&T) -> K,
+{
+    let lease = machine
+        .gauge()
+        .lease((inputs.len() * (T::WORDS + 2)) as u64);
+    let mut merge = KWayMerge {
+        machine: machine.clone(),
+        cursors: inputs,
+        heads: Vec::new(),
+        live: 0,
+        key,
+        _lease: lease,
+    };
+    for i in 0..merge.cursors.len() {
+        let head = merge.cursors[i].next().map(|t| ((merge.key)(&t), t));
+        if head.is_some() {
+            merge.live += 1;
+        }
+        merge.heads.push(head);
+    }
+    merge
+}
+
+impl<T, K, F> Iterator for KWayMerge<'_, T, K, F>
+where
+    T: Record,
+    K: Ord + Copy,
+    F: Fn(&T) -> K,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.live == 0 {
+            return None;
+        }
+        // Select the cursor with the smallest head key (first wins on ties).
+        let mut best: Option<usize> = None;
+        for (i, h) in self.heads.iter().enumerate() {
+            if let Some((k, _)) = h {
+                if best.is_none_or(|b| {
+                    let (bk, _) = self.heads[b].as_ref().expect("best head present");
+                    k < bk
+                }) {
+                    best = Some(i);
+                }
+            }
+        }
+        let i = best.expect("live > 0 implies a head exists");
+        let (_, t) = self.heads[i].take().expect("selected head present");
+        // The linear selection really compares every live head, so charge
+        // O(live) work per yielded element (the work counter backs the E7
+        // tables — it must track what the code executes).
+        self.machine.work(self.live as u64);
+        match self.cursors[i].next() {
+            Some(nt) => self.heads[i] = Some(((self.key)(&nt), nt)),
+            None => self.live -= 1,
+        }
+        Some(t)
+    }
+}
 
 /// Merges two arrays that are already sorted by `key` into a new sorted
-/// array, in a single simultaneous scan (`O((|a|+|b|)/B)` I/Os).
+/// array, in a single simultaneous scan (`O((|a|+|b|)/B)` I/Os). A thin
+/// materialising wrapper over [`kway_merge`].
 pub fn merge_sorted<T, K, F>(a: &ExtVec<T>, b: &ExtVec<T>, key: F) -> ExtVec<T>
 where
     T: Record,
@@ -12,31 +109,7 @@ where
 {
     let machine = a.machine().clone();
     let mut out: ExtVec<T> = ExtVec::new(&machine);
-    let mut ia = a.iter().peekable();
-    let mut ib = b.iter().peekable();
-    loop {
-        machine.work(1);
-        match (ia.peek().copied(), ib.peek().copied()) {
-            (Some(x), Some(y)) => {
-                if key(&x) <= key(&y) {
-                    out.push(x);
-                    ia.next();
-                } else {
-                    out.push(y);
-                    ib.next();
-                }
-            }
-            (Some(x), None) => {
-                out.push(x);
-                ia.next();
-            }
-            (None, Some(y)) => {
-                out.push(y);
-                ib.next();
-            }
-            (None, None) => break,
-        }
-    }
+    out.extend(kway_merge(&machine, vec![a.iter(), b.iter()], key));
     out
 }
 
@@ -155,5 +228,77 @@ mod tests {
         let machine = m();
         let v = ExtVec::from_slice(&machine, &[1u64, 1, 1, 2, 3, 3, 9]);
         assert_eq!(dedup_sorted(&v, |x| *x).load_all(), vec![1, 2, 3, 9]);
+    }
+
+    #[test]
+    fn kway_merge_streams_many_cursors_in_order() {
+        let machine = m();
+        let a = ExtVec::from_slice(&machine, &[0u64, 3, 6, 9]);
+        let b = ExtVec::from_slice(&machine, &[1u64, 4, 7]);
+        let c = ExtVec::from_slice(&machine, &[2u64, 5, 8, 10, 11]);
+        let merged: Vec<u64> =
+            kway_merge(&machine, vec![a.iter(), b.iter(), c.iter()], |x| *x).collect();
+        assert_eq!(merged, (0..12u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kway_merge_over_slices_and_empty_cursors() {
+        let machine = m();
+        let v = ExtVec::from_slice(&machine, &[1u64, 5, 9, 2, 6, 7]);
+        // Two sorted sub-ranges of the same array plus an empty one.
+        let merged: Vec<u64> = kway_merge(
+            &machine,
+            vec![
+                v.slice(0, 3).iter(),
+                v.slice(3, 6).iter(),
+                v.slice(6, 6).iter(),
+            ],
+            |x| *x,
+        )
+        .collect();
+        assert_eq!(merged, vec![1, 2, 5, 6, 7, 9]);
+        let none: Vec<u64> = kway_merge(&machine, Vec::new(), |x: &u64| *x).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn kway_merge_is_stable_across_cursors_and_gauge_accounted() {
+        let machine = m();
+        let a = ExtVec::from_slice(&machine, &[(1u32, 10u32), (2, 10)]);
+        let b = ExtVec::from_slice(&machine, &[(1u32, 20u32), (3, 20)]);
+        let mut it = kway_merge(&machine, vec![a.iter(), b.iter()], |x| x.0);
+        // The merger's O(k) head state is leased while it is alive.
+        assert!(machine.gauge().in_use() > 0);
+        // Equal keys: the earlier cursor's element comes first.
+        assert_eq!(it.next(), Some((1, 10)));
+        assert_eq!(it.next(), Some((1, 20)));
+        assert_eq!(it.next(), Some((2, 10)));
+        assert_eq!(it.next(), Some((3, 20)));
+        assert_eq!(it.next(), None);
+        drop(it);
+        assert_eq!(machine.gauge().in_use(), 0);
+    }
+
+    #[test]
+    fn kway_merge_of_sequential_cursors_costs_one_scan() {
+        // The point of the streaming merge: k sequential cursors with one
+        // in-core head each read every block exactly once.
+        let machine = Machine::new(emsim::EmConfig::new(64 * 8, 64));
+        let per_run = 64 * 10u64;
+        let runs: Vec<ExtVec<u64>> = (0..3)
+            .map(|r| {
+                ExtVec::from_slice(
+                    &machine,
+                    &(0..per_run).map(|i| 3 * i + r).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        machine.cold_cache();
+        let before = machine.io();
+        let merged: Vec<u64> =
+            kway_merge(&machine, runs.iter().map(|r| r.iter()).collect(), |x| *x).collect();
+        assert_eq!(merged, (0..3 * per_run).collect::<Vec<_>>());
+        let reads = machine.io().reads - before.reads;
+        assert_eq!(reads, 30, "3-way merge of 30 blocks must read 30 blocks");
     }
 }

@@ -106,10 +106,10 @@ where
     )
 }
 
-/// Merges already-sorted runs into one sorted output with a simple k-way
-/// merge. The per-run read cursor plus the output cursor are all sequential,
-/// so with `k ≤ M/B − 1` the LRU cache gives each cursor its own frame and
-/// the pass costs `O(total/B)` I/Os.
+/// Merges already-sorted runs into one sorted output via the streaming
+/// [`crate::kway_merge`] primitive. The per-run read cursor plus the output
+/// cursor are all sequential, so with `k ≤ M/B − 1` the LRU cache gives each
+/// cursor its own frame and the pass costs `O(total/B)` I/Os.
 fn merge_runs<T, K, F>(runs: &[ExtVec<T>], key: &F) -> ExtVec<T>
 where
     T: Record,
@@ -118,49 +118,11 @@ where
 {
     let machine = runs[0].machine().clone();
     let mut out: ExtVec<T> = ExtVec::new(&machine);
-
-    // A tiny tournament state: (current key, run index, position).
-    // The in-core state is O(k) words — covered by a gauge lease.
-    let _lease = machine.gauge().lease((runs.len() * (T::WORDS + 2)) as u64);
-    let mut heads: Vec<Option<(K, T)>> = Vec::with_capacity(runs.len());
-    let mut pos: Vec<usize> = vec![0; runs.len()];
-    for r in runs {
-        if r.is_empty() {
-            heads.push(None);
-        } else {
-            let t = r.get(0);
-            heads.push(Some((key(&t), t)));
-            pos[heads.len() - 1] = 1;
-        }
-    }
-
-    loop {
-        // Select the run with the smallest current key.
-        let mut best: Option<usize> = None;
-        for (i, h) in heads.iter().enumerate() {
-            if let Some((k, _)) = h {
-                match best {
-                    None => best = Some(i),
-                    Some(b) => {
-                        if let Some((bk, _)) = &heads[b] {
-                            if k < bk {
-                                best = Some(i);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        let Some(i) = best else { break };
-        let (_, t) = heads[i].take().expect("selected head present");
-        out.push(t);
-        machine.work(runs.len() as u64);
-        if pos[i] < runs[i].len() {
-            let nt = runs[i].get(pos[i]);
-            heads[i] = Some((key(&nt), nt));
-            pos[i] += 1;
-        }
-    }
+    out.extend(crate::kway_merge(
+        &machine,
+        runs.iter().map(|r| r.iter()).collect(),
+        key,
+    ));
     out
 }
 

@@ -187,6 +187,119 @@ impl<T: Record> ExtVec<T> {
             self.push(v);
         }
     }
+
+    /// A zero-copy view of elements `[start, end)` — no blocks are touched
+    /// until the view is read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len()`.
+    pub fn slice(&self, start: usize, end: usize) -> ExtSlice<'_, T> {
+        assert!(
+            start <= end && end <= self.len,
+            "invalid slice {start}..{end} (len {})",
+            self.len
+        );
+        ExtSlice {
+            vec: self,
+            start,
+            end,
+        }
+    }
+
+    /// The whole array as a zero-copy view.
+    pub fn as_slice(&self) -> ExtSlice<'_, T> {
+        self.slice(0, self.len)
+    }
+}
+
+/// A borrowed, zero-copy range view over an [`ExtVec`].
+///
+/// Creating a view costs nothing — no copy, no I/O, no gauge footprint; it is
+/// just `(array, start, end)`. Reading through [`ExtSlice::iter`] charges the
+/// usual sequential-scan I/Os, and [`ExtSlice::get`] the usual random-probe
+/// cost. Views are how algorithms hand around already-sorted runs (e.g. the
+/// colour classes of a partition) without re-materialising them.
+#[derive(Clone, Copy)]
+pub struct ExtSlice<'a, T: Record> {
+    vec: &'a ExtVec<T>,
+    start: usize,
+    end: usize,
+}
+
+impl<'a, T: Record> ExtSlice<'a, T> {
+    /// Number of elements in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Number of disk words covered by the view.
+    pub fn words(&self) -> usize {
+        self.len() * T::WORDS
+    }
+
+    /// The machine the underlying array lives on.
+    pub fn machine(&self) -> &'a Machine {
+        self.vec.machine()
+    }
+
+    /// Reads the element at `idx` (relative to the view's start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn get(&self, idx: usize) -> T {
+        assert!(
+            idx < self.len(),
+            "index {idx} out of bounds ({})",
+            self.len()
+        );
+        self.vec.get(self.start + idx)
+    }
+
+    /// A sequential reader over the whole view.
+    pub fn iter(&self) -> ScanReader<'a, T> {
+        self.vec.range(self.start, self.end)
+    }
+
+    /// A sub-view of elements `[from, to)` relative to the view's start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to` or `to > len()`.
+    pub fn slice(&self, from: usize, to: usize) -> ExtSlice<'a, T> {
+        assert!(
+            from <= to && to <= self.len(),
+            "invalid sub-slice {from}..{to} (len {})",
+            self.len()
+        );
+        ExtSlice {
+            vec: self.vec,
+            start: self.start + from,
+            end: self.start + to,
+        }
+    }
+
+    /// Materialises the view into an in-core `Vec`, charging the read I/Os
+    /// (see [`ExtVec::load_range`] for the gauge obligation).
+    pub fn load(&self) -> Vec<T> {
+        self.vec.load_range(self.start, self.end)
+    }
+}
+
+impl<T: Record + std::fmt::Debug> std::fmt::Debug for ExtSlice<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ExtSlice({}..{} of {:?})",
+            self.start, self.end, self.vec
+        )
+    }
 }
 
 impl<T: Record> Drop for ExtVec<T> {
@@ -376,5 +489,38 @@ mod tests {
         let m = machine();
         let v = ExtVec::from_slice(&m, &[1u64]);
         let _ = v.get(1);
+    }
+
+    #[test]
+    fn slices_are_zero_copy_views() {
+        let m = machine();
+        let v = ExtVec::from_slice(&m, &(0..100u64).collect::<Vec<_>>());
+        m.cold_cache();
+        let before = m.io();
+        let s = v.slice(10, 60);
+        assert_eq!(s.len(), 50);
+        assert!(!s.is_empty());
+        assert_eq!(s.words(), 50);
+        // Creating a view moves no blocks.
+        assert_eq!(m.io().total(), before.total());
+        assert_eq!(s.get(0), 10);
+        assert_eq!(s.iter().last(), Some(59));
+        assert_eq!(s.load(), (10u64..60).collect::<Vec<_>>());
+        // Sub-slicing is relative to the view.
+        let sub = s.slice(5, 8);
+        assert_eq!(sub.load(), vec![15, 16, 17]);
+        let whole = v.as_slice();
+        assert_eq!(whole.len(), v.len());
+        let empty = v.slice(7, 7);
+        assert!(empty.is_empty());
+        assert_eq!(empty.iter().next(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_slice_panics() {
+        let m = machine();
+        let v = ExtVec::from_slice(&m, &[1u64, 2]);
+        let _ = v.slice(1, 3);
     }
 }

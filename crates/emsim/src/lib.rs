@@ -58,7 +58,7 @@ mod record;
 mod stats;
 
 pub use config::EmConfig;
-pub use extvec::{ExtVec, ScanReader};
+pub use extvec::{ExtSlice, ExtVec, ScanReader};
 pub use gauge::{MemGauge, MemLease};
 pub use machine::Machine;
 pub use record::Record;

@@ -24,6 +24,11 @@
 //!   produced by a sequence of chosen bit functions, used both by the
 //!   derandomized cache-aware algorithm and by the recursive colour
 //!   refinement of the cache-oblivious algorithm.
+//! * [`ColorMemo`] — a capacity-bounded `vertex → colour` memo over any
+//!   colouring, used by the cache-aware drivers so the partition sort and
+//!   the derandomized colour chain stop re-evaluating hash polynomials for
+//!   vertices they have already coloured (the caller accounts the table on
+//!   its memory gauge).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,10 +36,12 @@
 mod bitfam;
 mod coloring;
 mod fourwise;
+mod memo;
 
 pub use bitfam::BitFunctionFamily;
 pub use coloring::{RandomColoring, RefinedColoring};
 pub use fourwise::FourWise;
+pub use memo::ColorMemo;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,127 @@
+//! Memoised vertex-colour tables.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// An in-core memo over an arbitrary vertex colouring `ξ : V → u64`.
+///
+/// The cache-aware algorithms evaluate the colouring many times per vertex —
+/// the partition sort alone asks for both endpoint colours on every key
+/// comparison — and for the derandomized colouring each evaluation walks a
+/// chain of degree-3 polynomials. The memo caches `vertex → colour` so
+/// repeated queries cost a table lookup, mirroring the per-level bit memo of
+/// [`crate::RefinedColoring`]: it is a transparent cache over a pure
+/// function, so dropping it (or overflowing `capacity`, which clears the
+/// table) never changes any colour.
+///
+/// The memo is real in-core state. `kwise` has no notion of a simulated
+/// machine, so a caller on one must register the footprint on its memory
+/// gauge — `capacity * `[`ColorMemo::WORDS_PER_ENTRY`] words covers the
+/// table at its fullest — and choose `capacity` within its memory budget.
+pub struct ColorMemo<'a> {
+    color: &'a dyn Fn(u32) -> u64,
+    memo: RefCell<HashMap<u32, u64>>,
+    capacity: usize,
+}
+
+impl<'a> ColorMemo<'a> {
+    /// Gauge words per memoised entry (a vertex id plus a colour value).
+    pub const WORDS_PER_ENTRY: u64 = 2;
+
+    /// Wraps `color` with a memo holding at most `capacity` entries
+    /// (at least one).
+    pub fn new(color: &'a dyn Fn(u32) -> u64, capacity: usize) -> Self {
+        Self {
+            color,
+            memo: RefCell::new(HashMap::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The colour of vertex `v`, from the memo when present.
+    pub fn color(&self, v: u32) -> u64 {
+        let mut memo = self.memo.borrow_mut();
+        if let Some(&c) = memo.get(&v) {
+            return c;
+        }
+        let c = (self.color)(v);
+        if memo.len() >= self.capacity {
+            memo.clear();
+        }
+        memo.insert(v, c);
+        c
+    }
+
+    /// Number of currently memoised entries (≤ the configured capacity) —
+    /// what a simulator-side caller multiplies by
+    /// [`ColorMemo::WORDS_PER_ENTRY`] when accounting the footprint.
+    pub fn cached_entries(&self) -> usize {
+        self.memo.borrow().len()
+    }
+
+    /// The configured entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl std::fmt::Debug for ColorMemo<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ColorMemo(cached={}, capacity={})",
+            self.cached_entries(),
+            self.capacity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn memo_agrees_with_the_wrapped_coloring_and_caches() {
+        let evals = Cell::new(0usize);
+        let color = |v: u32| {
+            evals.set(evals.get() + 1);
+            u64::from(v) % 7
+        };
+        let memo = ColorMemo::new(&color, 1000);
+        for v in 0..100u32 {
+            assert_eq!(memo.color(v), u64::from(v) % 7);
+        }
+        assert_eq!(evals.get(), 100);
+        assert_eq!(memo.cached_entries(), 100);
+        // Second round hits the memo: no new evaluations.
+        for v in 0..100u32 {
+            assert_eq!(memo.color(v), u64::from(v) % 7);
+        }
+        assert_eq!(evals.get(), 100);
+    }
+
+    #[test]
+    fn overflow_clears_but_stays_correct_within_capacity() {
+        let color = |v: u32| u64::from(v) * 3;
+        let memo = ColorMemo::new(&color, 10);
+        for v in 0..35u32 {
+            assert_eq!(memo.color(v), u64::from(v) * 3);
+            assert!(memo.cached_entries() <= 10, "capacity must bound the memo");
+        }
+        // Re-querying after clears still returns the right colours.
+        for v in (0..35u32).rev() {
+            assert_eq!(memo.color(v), u64::from(v) * 3);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let color = |_: u32| 4u64;
+        let memo = ColorMemo::new(&color, 0);
+        assert_eq!(memo.capacity(), 1);
+        assert_eq!(memo.color(9), 4);
+        assert_eq!(memo.color(10), 4);
+        assert!(memo.cached_entries() <= 1);
+    }
+}

@@ -1,13 +1,17 @@
 //! Cross-algorithm oracle matrix: the three paper algorithms against the
 //! in-memory oracle over randomly drawn graph *families* (Erdős–Rényi,
-//! power-law, lollipop), a deterministic adversarial corpus, and a
-//! regression pin on the cache-oblivious recursion/work counters so the
-//! single-pass partitioning rewrite cannot silently regress.
+//! power-law, lollipop), a deterministic adversarial corpus, a regression
+//! pin on the cache-oblivious recursion/work counters so the single-pass
+//! partitioning rewrite cannot silently regress, and an equivalence suite
+//! pinning the pivot-grouped step 3 of the cache-aware algorithms
+//! bit-identical to the per-triple reference loop it replaced.
 
 use emsim::EmConfig;
-use graphgen::{generators, naive, Graph};
+use graphgen::{generators, naive, Graph, Triangle};
 use proptest::prelude::*;
-use trienum::{count_triangles, Algorithm};
+use trienum::{
+    count_triangles, enumerate_triangles_with_step3, Algorithm, CollectingSink, Step3Strategy,
+};
 
 /// The three paper algorithms, parameterised by a shared seed.
 fn paper_algorithms(seed: u64) -> [Algorithm; 3] {
@@ -53,6 +57,40 @@ proptest! {
             let (got, report) = count_triangles(&g, alg, cfg);
             prop_assert_eq!(got, expected, "algorithm {}", alg.name());
             prop_assert_eq!(report.triangles, expected, "report of {}", alg.name());
+        }
+    }
+
+    #[test]
+    fn pivot_grouped_step3_is_bit_identical_to_the_per_triple_reference(
+        g in arb_family_graph(),
+        seed in 0u64..1000,
+    ) {
+        // Equivalence pin for the step-3 rewrite: across the same graph
+        // families, for the randomized *and* the derandomized driver, the
+        // pivot-grouped loop must produce the same triangle multiset and the
+        // same counts as the pre-rewrite per-triple loop — at a comfortable
+        // memory size and under memory pressure.
+        let drivers = [
+            Algorithm::CacheAwareRandomized { seed },
+            Algorithm::DeterministicCacheAware {
+                family_seed: seed,
+                candidates: Some(12),
+            },
+        ];
+        for cfg in [EmConfig::new(256, 32), EmConfig::new(128, 16)] {
+            for alg in drivers {
+                let run = |strategy: Step3Strategy| -> (u64, Vec<Triangle>) {
+                    let mut sink = CollectingSink::new();
+                    let report = enumerate_triangles_with_step3(&g, alg, cfg, &mut sink, strategy);
+                    let mut ts = sink.into_triangles();
+                    ts.sort_unstable();
+                    (report.triangles, ts)
+                };
+                let (n_grouped, t_grouped) = run(Step3Strategy::PivotGrouped);
+                let (n_reference, t_reference) = run(Step3Strategy::PerTripleReference);
+                prop_assert_eq!(n_grouped, n_reference, "count for {}", alg.name());
+                prop_assert_eq!(t_grouped, t_reference, "multiset for {}", alg.name());
+            }
         }
     }
 
