@@ -39,7 +39,13 @@ fn main() {
         );
     }
     if want("e2") {
-        let ratios: &[usize] = if quick { &[4, 16] } else { &[4, 8, 16, 32, 64] };
+        // Quick mode includes E/M = 8 so the crossover gate (which starts
+        // there) is exercised by the CI smoke run too.
+        let ratios: &[usize] = if quick {
+            &[4, 8, 16]
+        } else {
+            &[4, 8, 16, 32, 64]
+        };
         let rows = experiment_e2(ratios);
         println!(
             "{}",
@@ -55,7 +61,8 @@ fn main() {
         match check_e2_io_budget(&rows) {
             Ok(()) => println!(
                 "io-budget gate: cache-aware io/bound within ceiling \
-                 {CACHE_AWARE_IO_CEILING}, crossover >= 1.0 from E/M = 16"
+                 {CACHE_AWARE_IO_CEILING}, crossover >= 1.0 from E/M = \
+                 {CACHE_AWARE_CROSSOVER_FROM}"
             ),
             Err(msg) => {
                 eprintln!("io-budget gate FAILED: {msg}");

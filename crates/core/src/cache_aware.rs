@@ -20,7 +20,7 @@ use kwise::{ColorMemo, RandomColoring};
 
 use crate::input::ExtGraph;
 use crate::lemma1::enumerate_through_vertex;
-use crate::lemma2::{enumerate_multi_cone, enumerate_with_pivots, ConeClasses};
+use crate::lemma2::{enumerate_multi_cone, enumerate_with_pivots, ChunkPolicy, ConeClasses};
 use crate::partition::ColorPartition;
 use crate::sink::TriangleSink;
 use crate::stats::PhaseRecorder;
@@ -38,6 +38,9 @@ pub(crate) struct ColoredRunOutcome {
     pub colors: u64,
     pub x_statistic: u128,
     pub high_degree_vertices: usize,
+    /// Pivot chunks loaded by step 3 (each costs one pass of the cone
+    /// streams): the observable the adaptive Lemma 2 sizing shrinks.
+    pub step3_chunk_passes: u64,
 }
 
 /// Runs the cache-aware randomized algorithm.
@@ -171,6 +174,7 @@ pub(crate) fn run_colored(
 
     // ---- Step 3: enumerate the colour triples against Lemma 2. ----
     let before: IoStats = machine.io();
+    let mut step3_chunk_passes = 0u64;
     match strategy {
         Step3Strategy::PivotGrouped => {
             // Group the `c³` triples by their pivot colour pair `(τ2, τ3)`:
@@ -206,7 +210,15 @@ pub(crate) fn run_colored(
                     }
                     // The cone table is O(c) in-core words of view metadata.
                     let _cone_lease = machine.gauge().lease((cones.len() * 4) as u64);
-                    triangles += enumerate_multi_cone(pivots, &cones, cfg.mem_words, sink);
+                    let stats = enumerate_multi_cone(
+                        pivots,
+                        &cones,
+                        cfg.mem_words,
+                        ChunkPolicy::default(),
+                        sink,
+                    );
+                    triangles += stats.emitted;
+                    step3_chunk_passes += stats.chunk_passes;
                 }
             }
         }
@@ -226,6 +238,7 @@ pub(crate) fn run_colored(
                             &edge_set,
                             &pivots,
                             cfg.mem_words,
+                            ChunkPolicy::PUBLISHED_BASELINE,
                             |t: Triangle| memo_color(t.a) == t1,
                             sink,
                         );
@@ -241,6 +254,7 @@ pub(crate) fn run_colored(
         colors: c,
         x_statistic,
         high_degree_vertices: high.len(),
+        step3_chunk_passes,
     }
 }
 
@@ -399,6 +413,64 @@ mod tests {
                         || high.binary_search(&e.v).is_ok())
                     .count()
         );
+    }
+
+    #[test]
+    fn high_degree_cut_is_strict_at_the_exact_sqrt_em_boundary() {
+        // The paper defines V_h = {v : deg(v) > √(E·M)} with a *strict*
+        // inequality; with the threshold computed exactly (integer isqrt), a
+        // vertex of degree exactly ⌊√(E·M)⌋ must stay low-degree, and one
+        // more incident edge must tip it over. Pin both sides.
+        //
+        // Hub of degree 40 + a 61-vertex path: E = 100, M = 16, so
+        // E·M = 1600 = 40² exactly and the hub sits *on* the boundary.
+        let mut g = graphgen::Graph::empty(102);
+        for v in 1..=40u32 {
+            g.add_edge(0, v);
+        }
+        for v in 41..101u32 {
+            g.add_edge(v, v + 1);
+        }
+        let mem = 16usize;
+        assert_eq!(high_degree_threshold(100, mem), 40);
+        let machine = Machine::new(EmConfig::new(mem, 16));
+        let eg = ExtGraph::load(&machine, &g);
+        assert_eq!(eg.edge_count(), 100);
+        let (high, el) = split_high_low_degree(eg.edges(), mem);
+        assert!(
+            high.is_empty(),
+            "degree == ⌊√(E·M)⌋ exactly must NOT be high-degree (strict >)"
+        );
+        assert_eq!(el.len(), 100, "no edges may be removed at the boundary");
+
+        // One more spoke: hub degree 41, E = 101, threshold ⌊√1616⌋ = 40.
+        g.add_edge(0, 101);
+        assert_eq!(high_degree_threshold(101, mem), 40);
+        let machine = Machine::new(EmConfig::new(mem, 16));
+        let eg = ExtGraph::load(&machine, &g);
+        let (high, el) = split_high_low_degree(eg.edges(), mem);
+        assert_eq!(
+            high.len(),
+            1,
+            "degree ⌊√(E·M)⌋ + 1 must be cut as high-degree"
+        );
+        assert_eq!(el.len(), 101 - 41, "all 41 hub edges must be removed");
+
+        // The split is an analysis device, not a correctness requirement —
+        // but the boundary input must still enumerate exactly (0 triangles:
+        // a star plus a path is triangle-free).
+        for strategy in [
+            Step3Strategy::PivotGrouped,
+            Step3Strategy::PerTripleReference,
+        ] {
+            let cfg = EmConfig::new(mem, 16);
+            let machine = Machine::new(cfg);
+            let eg = ExtGraph::load(&machine, &g);
+            let mut sink = StrictSink::new();
+            let mut rec = PhaseRecorder::new();
+            let out = run_cache_aware_randomized(&eg, cfg, 1, strategy, &mut sink, &mut rec);
+            assert_eq!(out.triangles, 0, "{strategy:?}");
+        }
     }
 
     #[test]

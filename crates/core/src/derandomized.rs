@@ -183,6 +183,40 @@ mod tests {
     }
 
     #[test]
+    fn shares_the_adaptive_step3_driver_with_the_randomized_algorithm() {
+        // The derandomized driver funnels into the same `run_colored` step 3
+        // as the randomized one, so the adaptive Lemma 2 sizing must show up
+        // here too: the pass counter is reported, and a run at a doubled
+        // memory budget needs (roughly half, but at least) fewer passes.
+        let g = generators::erdos_renyi(400, 4000, 9);
+        let passes_at = |mem: usize| -> u64 {
+            let cfg = EmConfig::new(mem, 32);
+            let machine = Machine::new(cfg);
+            let eg = ExtGraph::load(&machine, &g);
+            let mut sink = StrictSink::new();
+            let mut rec = PhaseRecorder::new();
+            let (out, _) = run_derandomized(
+                &eg,
+                cfg,
+                1,
+                Some(16),
+                Step3Strategy::PivotGrouped,
+                &mut sink,
+                &mut rec,
+            );
+            assert_eq!(out.triangles, naive::count_triangles(&g));
+            out.step3_chunk_passes
+        };
+        let small = passes_at(256);
+        let large = passes_at(1024);
+        assert!(small >= 1 && large >= 1);
+        assert!(
+            large < small,
+            "4x memory must cut step-3 chunk passes ({small} -> {large})"
+        );
+    }
+
+    #[test]
     fn single_color_case_degenerates_gracefully() {
         // When E ≤ M the number of colours is 1 and no greedy level runs.
         let g = generators::clique(12);

@@ -242,6 +242,7 @@ pub fn enumerate_triangles_with_step3(
                     "high_degree_vertices".into(),
                     out.high_degree_vertices as f64,
                 ));
+                extra.push(("step3_chunk_passes".into(), out.step3_chunk_passes as f64));
                 out.triangles
             }
             Algorithm::DeterministicCacheAware {
@@ -261,6 +262,7 @@ pub fn enumerate_triangles_with_step3(
                 extra.push(("x_statistic".into(), out.x_statistic as f64));
                 extra.push(("greedy_levels".into(), info.levels as f64));
                 extra.push(("candidates_per_level".into(), info.candidates as f64));
+                extra.push(("step3_chunk_passes".into(), out.step3_chunk_passes as f64));
                 out.triangles
             }
             Algorithm::CacheObliviousRandomized { seed } => {
@@ -371,6 +373,10 @@ mod tests {
         let (_, report) = count_triangles(&g, Algorithm::CacheAwareRandomized { seed: 1 }, cfg);
         assert!(report.phase_io("step3_color_triples").is_some());
         assert!(report.extra("x_statistic").is_some());
+        assert!(
+            report.extra("step3_chunk_passes").unwrap_or(0.0) >= 1.0,
+            "the adaptive Lemma 2 pass counter must be surfaced"
+        );
         assert!(report.peak_disk_words >= report.edges as u64);
         assert!(report.work_ops > 0);
     }

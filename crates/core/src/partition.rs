@@ -24,36 +24,29 @@ impl ColorPartition {
     /// cache-aware sort (`O(sort(E))` I/Os).
     pub(crate) fn build(el: &ExtVec<Edge>, c: u64, color: &dyn Fn(VertexId) -> u64) -> Self {
         assert!(c >= 1);
-        let machine = el.machine().clone();
         let class_of = |e: &Edge| -> u64 { color(e.u) * c + color(e.v) };
         // Sort by (class, edge) so that every class is a contiguous,
         // lexicographically sorted range.
         let sorted = external_sort_by_key(el, |e| (class_of(e), e.u, e.v));
 
         // Derive the class boundaries from the sorted run structure: each
-        // boundary is a partition point located by binary search (narrowed by
-        // the previous boundary), so finding all of them costs
-        // `O(c² log E)` colour probes against cached blocks instead of
-        // re-evaluating `class_of` — two hash chains — on every edge in a
-        // full second scan of the array.
+        // boundary is a partition point located by binary search on a view
+        // narrowed by the previous boundary ([`ExtSlice::partition_point`]),
+        // so finding all of them costs `O(c² log E)` colour probes against
+        // cached blocks instead of re-evaluating `class_of` — two hash
+        // chains — on every edge in a full second scan of the array. An
+        // empty edge set (every class empty) skips the searches entirely.
         let classes = (c * c) as usize;
         let n = sorted.len();
         let mut offsets = vec![0usize; classes + 1];
         offsets[classes] = n;
-        for k in 1..classes {
-            // First index whose class is ≥ k; classes are sorted, so the
-            // search space starts at the previous boundary.
-            let (mut lo, mut hi) = (offsets[k - 1], n);
-            while lo < hi {
-                let mid = lo + (hi - lo) / 2;
-                machine.work(1);
-                if class_of(&sorted.get(mid)) < k as u64 {
-                    lo = mid + 1;
-                } else {
-                    hi = mid;
-                }
+        if n > 0 {
+            for k in 1..classes {
+                // First index whose class is ≥ k; classes are sorted, so the
+                // search space starts at the previous boundary.
+                let tail = sorted.as_slice().slice(offsets[k - 1], n);
+                offsets[k] = offsets[k - 1] + tail.partition_point(|e| class_of(e) < k as u64);
             }
-            offsets[k] = lo;
         }
 
         Self {
@@ -69,10 +62,12 @@ impl ColorPartition {
         self.offsets[k + 1] - self.offsets[k]
     }
 
-    /// Total number of partitioned edges.
+    /// Total number of partitioned edges. The offset table always holds
+    /// `c² + 1 ≥ 2` entries (`build` asserts `c ≥ 1`), so this is total even
+    /// for an empty partition of an empty edge set.
     #[cfg(test)]
     pub(crate) fn total_edges(&self) -> usize {
-        *self.offsets.last().unwrap()
+        self.offsets.last().copied().unwrap_or(0)
     }
 
     /// The number of words the in-core offset table occupies (for gauge
@@ -221,6 +216,25 @@ mod tests {
         }
         let expected: u128 = counts.values().map(|&n| n * (n - 1) / 2).sum();
         assert_eq!(part.x_statistic(), expected);
+    }
+
+    #[test]
+    fn empty_edge_set_partitions_into_all_empty_classes() {
+        let machine = Machine::new(EmConfig::new(256, 32));
+        let el: ExtVec<Edge> = ExtVec::new(&machine);
+        for c in [1u64, 3] {
+            let part = ColorPartition::build(&el, c, &|v| v as u64 % c);
+            assert_eq!(part.total_edges(), 0);
+            assert_eq!(part.x_statistic(), 0);
+            for t1 in 0..c {
+                for t2 in 0..c {
+                    assert_eq!(part.class_len(t1, t2), 0);
+                    assert!(part.class_slice(t1, t2).is_empty());
+                }
+            }
+            assert_eq!(part.index_words(), c * c + 1);
+            assert!(part.union_sorted(&[(0, 0)]).is_empty());
+        }
     }
 
     #[test]

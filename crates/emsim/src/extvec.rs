@@ -290,6 +290,30 @@ impl<'a, T: Record> ExtSlice<'a, T> {
     pub fn load(&self) -> Vec<T> {
         self.vec.load_range(self.start, self.end)
     }
+
+    /// The index of the partition point of `pred` (the first element for
+    /// which `pred` is false), assuming the view is partitioned — i.e. every
+    /// element satisfying `pred` precedes every element that does not.
+    ///
+    /// Binary search: `O(log n)` random probes through the block cache (each
+    /// probe charges one unit of work and at most one read I/O), against the
+    /// `O(n/B)` cost of locating the boundary by a scan. This is how callers
+    /// narrow an already-sorted view to the sub-range that can participate in
+    /// a computation — e.g. Lemma 2's endpoint-range pruning of cone-class
+    /// views — without streaming the part that cannot.
+    pub fn partition_point(&self, mut pred: impl FnMut(&T) -> bool) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            self.machine().work(1);
+            if pred(&self.get(mid)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
 }
 
 impl<T: Record + std::fmt::Debug> std::fmt::Debug for ExtSlice<'_, T> {
@@ -514,6 +538,31 @@ mod tests {
         let empty = v.slice(7, 7);
         assert!(empty.is_empty());
         assert_eq!(empty.iter().next(), None);
+    }
+
+    #[test]
+    fn partition_point_locates_boundaries_with_log_probes() {
+        let m = Machine::new(EmConfig::new(256, 64));
+        let v = ExtVec::from_slice(&m, &(0..640u64).collect::<Vec<_>>());
+        let s = v.as_slice();
+        assert_eq!(s.partition_point(|_| false), 0);
+        assert_eq!(s.partition_point(|&x| x < 123), 123);
+        assert_eq!(s.partition_point(|_| true), 640);
+        // Sub-views search relative to their own start.
+        let sub = v.slice(100, 200);
+        assert_eq!(sub.partition_point(|&x| x < 150), 50);
+        let empty = v.slice(7, 7);
+        assert_eq!(empty.partition_point(|&x| x < 3), 0);
+        // The probe count is logarithmic, not linear: searching 640 elements
+        // (10 blocks) must touch at most ⌈log2 640⌉ = 10 blocks, far fewer on
+        // a warm cache — never a full scan.
+        m.cold_cache();
+        let before = m.io();
+        let _ = s.partition_point(|&x| x < 321);
+        assert!(
+            m.io().reads - before.reads <= 10,
+            "binary search must not degenerate into a scan"
+        );
     }
 
     #[test]

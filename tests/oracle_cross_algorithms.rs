@@ -148,6 +148,52 @@ fn adversarial_corpus_is_exact_for_every_paper_algorithm() {
     }
 }
 
+/// Degenerate inputs: every algorithm (the three paper drivers and the three
+/// baselines) must handle the empty graph, the edgeless graph, a single
+/// edge and a single wedge without panicking — `E = 0` exercises the
+/// empty-partition path of `ColorPartition`, empty pivot sets in Lemma 2 and
+/// an empty greedy-colouring domain in the derandomized driver.
+#[test]
+fn degenerate_graphs_run_clean_on_every_algorithm() {
+    let single_edge = {
+        let mut g = Graph::empty(2);
+        g.add_edge(0, 1);
+        g
+    };
+    let wedge = {
+        let mut g = Graph::empty(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g
+    };
+    let corpus: Vec<(&str, Graph)> = vec![
+        ("empty graph", Graph::empty(0)),
+        ("edgeless graph", Graph::empty(7)),
+        ("single edge", single_edge),
+        ("single wedge", wedge),
+    ];
+    let algorithms = [
+        Algorithm::CacheAwareRandomized { seed: 3 },
+        Algorithm::CacheObliviousRandomized { seed: 3 },
+        Algorithm::DeterministicCacheAware {
+            family_seed: 3,
+            candidates: None, // the default family sizing must cope too
+        },
+        Algorithm::HuTaoChung,
+        Algorithm::SortBased,
+        Algorithm::BlockNestedLoop,
+    ];
+    for (name, g) in &corpus {
+        for cfg in [EmConfig::new(256, 32), EmConfig::new(64, 16)] {
+            for alg in algorithms {
+                let (got, report) = count_triangles(g, alg, cfg);
+                assert_eq!(got, 0, "{name}: {} found phantom triangles", alg.name());
+                assert_eq!(report.triangles, 0, "{name}: {}", alg.name());
+            }
+        }
+    }
+}
+
 /// Regression pin for the tentpole rewrite: the cache-oblivious recursion on
 /// the E7-quick instance must not exceed its post-rewrite counters. The run
 /// is fully deterministic (seeded generator, seeded colouring), so tight
