@@ -3,10 +3,17 @@
 //! ```text
 //! cargo run --release -p trienum-bench --bin reproduce            # all experiments
 //! cargo run --release -p trienum-bench --bin reproduce -- --exp e2 --quick
+//! cargo run --release -p trienum-bench --bin reproduce -- --json bench-records
 //! ```
 //!
 //! `--quick` shrinks the instance sizes (useful for CI smoke runs); the
-//! default sizes are the ones EXPERIMENTS.md records.
+//! default sizes are the ones EXPERIMENTS.md records. `--json <dir>` writes
+//! one machine-readable `BENCH_E<k>.json` record per executed experiment
+//! (rows plus gate verdicts) into `dir` — CI uploads these as artifacts so
+//! the performance trajectory is tracked run over run. Gate failures and
+//! record-write failures are all reported after every selected experiment
+//! has run (and its record been attempted), then the process exits
+//! non-zero.
 
 use trienum_bench::*;
 
@@ -18,7 +25,31 @@ fn main() {
         .position(|a| a == "--exp")
         .and_then(|i| args.get(i + 1))
         .map(|s| s.to_lowercase());
+    let json_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
     let want = |name: &str| selected.as_deref().is_none_or(|s| s == name);
+
+    let mut failures: Vec<String> = Vec::new();
+    fn write_record(
+        json_dir: &Option<std::path::PathBuf>,
+        experiment: &str,
+        title: &str,
+        rows: &[Row],
+        gates: &[GateOutcome],
+        failures: &mut Vec<String>,
+    ) {
+        if let Some(dir) = json_dir {
+            match write_experiment_record(dir, experiment, title, rows, gates) {
+                Ok(path) => println!("wrote {}", path.display()),
+                // Collected, not fatal: the remaining experiments (and their
+                // gate verdicts) must still run and be reported.
+                Err(err) => failures.push(format!("writing the {experiment} record: {err}")),
+            }
+        }
+    }
 
     println!("trienum experiment harness — reproducing the claims of");
     println!(
@@ -33,10 +64,9 @@ fn main() {
             &[4_000, 8_000, 16_000, 32_000]
         };
         let rows = experiment_e1(sizes, true);
-        println!(
-            "{}",
-            render_table("E1: I/O scaling in E (ER graphs, M=4096, B=64)", &rows)
-        );
+        let title = "E1: I/O scaling in E (ER graphs, M=4096, B=64)";
+        println!("{}", render_table(title, &rows));
+        write_record(&json_dir, "e1", title, &rows, &[], &mut failures);
     }
     if want("e2") {
         // Quick mode includes E/M = 8 so the crossover gate (which starts
@@ -47,27 +77,28 @@ fn main() {
             &[4, 8, 16, 32, 64]
         };
         let rows = experiment_e2(ratios);
-        println!(
-            "{}",
-            render_table(
-                "E2: measured vs predicted improvement over Hu-Tao-Chung (M=512, B=32)",
-                &rows
-            )
-        );
+        let title = "E2: measured vs predicted improvement over Hu-Tao-Chung (M=512, B=32)";
+        println!("{}", render_table(title, &rows));
         // I/O-budget gate (wired into CI through the --quick smoke run and
         // the full-size --exp e2 step): fail loudly if the cache-aware path
         // regresses toward its old per-triple step-3 constant or loses the
         // crossover against Hu-Tao-Chung.
-        match check_e2_io_budget(&rows) {
+        let verdict = check_e2_io_budget(&rows);
+        write_record(
+            &json_dir,
+            "e2",
+            title,
+            &rows,
+            &[GateOutcome::of("CACHE_AWARE_IO_CEILING", &verdict)],
+            &mut failures,
+        );
+        match verdict {
             Ok(()) => println!(
                 "io-budget gate: cache-aware io/bound within ceiling \
                  {CACHE_AWARE_IO_CEILING}, crossover >= 1.0 from E/M = \
                  {CACHE_AWARE_CROSSOVER_FROM}"
             ),
-            Err(msg) => {
-                eprintln!("io-budget gate FAILED: {msg}");
-                std::process::exit(1);
-            }
+            Err(msg) => failures.push(format!("E2 io-budget gate: {msg}")),
         }
     }
     if want("e3") {
@@ -86,71 +117,86 @@ fn main() {
         };
         let e = if quick { 4_000 } else { 12_000 };
         let rows = experiment_e3(e, configs);
-        println!(
-            "{}",
-            render_table(
-                &format!("E3: cache-obliviousness — one binary, E={e}, varying (M, B)"),
-                &rows
-            )
+        let title = format!("E3: cache-obliviousness — one binary, E={e}, varying (M, B)");
+        println!("{}", render_table(&title, &rows));
+        // I/O-budget gate (wired into CI through the --quick smoke run and
+        // the full-size --exp e3 step): fail loudly if the cache-oblivious
+        // path regresses toward its pre-rewrite normalised-I/O band.
+        let verdict = check_e3_io_budget(&rows);
+        write_record(
+            &json_dir,
+            "e3",
+            &title,
+            &rows,
+            &[GateOutcome::of("CACHE_OBLIVIOUS_IO_CEILING", &verdict)],
+            &mut failures,
         );
+        match verdict {
+            Ok(()) => println!(
+                "io-budget gate: cache-oblivious io/bound within ceiling \
+                 {CACHE_OBLIVIOUS_IO_CEILING}"
+            ),
+            Err(msg) => failures.push(format!("E3 io-budget gate: {msg}")),
+        }
     }
     if want("e4") {
         let sizes: &[usize] = if quick { &[40, 60] } else { &[40, 60, 80, 100] };
         let rows = experiment_e4(sizes);
-        println!(
-            "{}",
-            render_table(
-                "E4: optimality vs the Theorem 3 lower bound (cliques, M=512, B=32)",
-                &rows
-            )
-        );
+        let title = "E4: optimality vs the Theorem 3 lower bound (cliques, M=512, B=32)";
+        println!("{}", render_table(title, &rows));
+        write_record(&json_dir, "e4", title, &rows, &[], &mut failures);
     }
     if want("e5") {
         let sizes: &[usize] = if quick { &[4_000] } else { &[8_000, 16_000] };
         let rows = experiment_e5(sizes);
-        println!(
-            "{}",
-            render_table("E5: derandomization — colour balance and I/O cost", &rows)
-        );
+        let title = "E5: derandomization — colour balance and I/O cost";
+        println!("{}", render_table(title, &rows));
+        write_record(&json_dir, "e5", title, &rows, &[], &mut failures);
     }
     if want("e6") {
         let groups: &[usize] = if quick { &[40] } else { &[40, 120] };
         let rows = experiment_e6(groups);
-        println!(
-            "{}",
-            render_table("E6: the 5NF Sells join as triangle enumeration", &rows)
-        );
+        let title = "E6: the 5NF Sells join as triangle enumeration";
+        println!("{}", render_table(title, &rows));
+        write_record(&json_dir, "e6", title, &rows, &[], &mut failures);
     }
     if want("e7") {
         let sizes: &[usize] = if quick { &[4_000] } else { &[8_000, 16_000] };
         let rows = experiment_e7(sizes);
-        println!(
-            "{}",
-            render_table("E7: work optimality (operations vs E^1.5)", &rows)
-        );
+        let title = "E7: work optimality (operations vs E^1.5)";
+        println!("{}", render_table(title, &rows));
         // Work-budget gate (wired into CI through the --quick smoke run):
         // fail loudly if the cache-oblivious path regresses toward its old
-        // ~52x constant.
-        match check_e7_work_budget(&rows) {
+        // per-level constants.
+        let verdict = check_e7_work_budget(&rows);
+        write_record(
+            &json_dir,
+            "e7",
+            title,
+            &rows,
+            &[GateOutcome::of("CACHE_OBLIVIOUS_WORK_CEILING", &verdict)],
+            &mut failures,
+        );
+        match verdict {
             Ok(()) => println!(
                 "work-budget gate: cache-oblivious work/E^1.5 within ceiling \
                  {CACHE_OBLIVIOUS_WORK_CEILING}"
             ),
-            Err(msg) => {
-                eprintln!("work-budget gate FAILED: {msg}");
-                std::process::exit(1);
-            }
+            Err(msg) => failures.push(format!("E7 work-budget gate: {msg}")),
         }
     }
     if want("e8") {
         let (e, trials) = if quick { (4_000, 10) } else { (16_000, 30) };
         let rows = experiment_e8(e, trials);
-        println!(
-            "{}",
-            render_table(
-                "E8: Lemma 3 — E[X_xi] <= E*M over random 4-wise colourings",
-                &rows
-            )
-        );
+        let title = "E8: Lemma 3 — E[X_xi] <= E*M over random 4-wise colourings";
+        println!("{}", render_table(title, &rows));
+        write_record(&json_dir, "e8", title, &rows, &[], &mut failures);
+    }
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("gate FAILED: {failure}");
+        }
+        std::process::exit(1);
     }
 }

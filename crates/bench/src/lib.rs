@@ -303,13 +303,14 @@ pub fn experiment_e7(sizes: &[usize]) -> Vec<Row> {
 /// Work-budget ceiling for the cache-oblivious algorithm: `reproduce` fails
 /// (and CI with it) if any E7 row reports `work/E^{1.5}` above this value.
 ///
-/// Recorded 2026-07-30 after the single-pass child-partitioning rewrite:
-/// measured ratios are ≈ 10.3 at `E = 4000` (the `--quick` size), 9.75 at
-/// `E = 8000` and 7.60 at `E = 16000` — the ratio falls with `E`. The
-/// pre-rewrite implementation sat at ≈ 52.7, so a regression back to
-/// per-child filter scans or per-node degree sorts trips the gate
-/// immediately while leaving honest noise plenty of headroom.
-pub const CACHE_OBLIVIOUS_WORK_CEILING: f64 = 12.0;
+/// Recorded 2026-07-30 after the canonical-edge-list rewrite (PR 5):
+/// measured ratios are 6.10 at `E = 4000` (the `--quick` size), 5.92 at
+/// `E = 8000` and 4.55 at `E = 16000` — the ratio falls with `E`. The
+/// PR 2–4 incidence-list implementation sat at 9.75–10.3 and the pre-PR 2
+/// one at ≈ 52.7, so a regression to either (re-materialised reverse
+/// orientations, per-leaf wedge sorts, per-child filter scans) trips the
+/// gate immediately while leaving honest noise ~30% headroom.
+pub const CACHE_OBLIVIOUS_WORK_CEILING: f64 = 8.0;
 
 /// Checks an E7 table against [`CACHE_OBLIVIOUS_WORK_CEILING`]; returns a
 /// description of the first offending row, if any.
@@ -328,6 +329,41 @@ pub fn check_e7_work_budget(rows: &[Row]) -> Result<(), String> {
             return Err(format!(
                 "row '{}': work/E^1.5 = {ratio:.2} exceeds the recorded ceiling \
                  {CACHE_OBLIVIOUS_WORK_CEILING}",
+                row.label
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// I/O-budget ceiling for the cache-oblivious algorithm on the E3 sweep:
+/// `reproduce` fails (and CI with it) if any E3 row reports `io/bound`
+/// (measured I/O over the paper's `E^{3/2}/(√M·B)`) above this value.
+///
+/// Recorded 2026-07-30 after the canonical-edge-list rewrite (PR 5): the
+/// normalised I/O sits at 19.7–58.1 across the full `(M, B)` sweep at
+/// `E = 12000` (worst row `M = 512, B = 32`) and at 15.8–37.4 on the
+/// `--quick` sweep at `E = 4000`. The PR 2–4 incidence-list implementation
+/// sat at 79.8–146.0, so a regression toward any of its removed costs (the
+/// 2× reverse-orientation routing volume, the root sort, per-leaf wedge
+/// files) trips the gate immediately while honest noise has ~12% headroom
+/// above the worst recorded row.
+pub const CACHE_OBLIVIOUS_IO_CEILING: f64 = 65.0;
+
+/// Checks an E3 table against [`CACHE_OBLIVIOUS_IO_CEILING`]; returns a
+/// description of the first offending row, if any.
+pub fn check_e3_io_budget(rows: &[Row]) -> Result<(), String> {
+    for row in rows {
+        let normalised = row
+            .values
+            .iter()
+            .find(|(name, _)| name == "io/bound")
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("row '{}' lacks an io/bound column", row.label))?;
+        if normalised > CACHE_OBLIVIOUS_IO_CEILING {
+            return Err(format!(
+                "row '{}': io/bound = {normalised:.2} exceeds the recorded ceiling \
+                 {CACHE_OBLIVIOUS_IO_CEILING}",
                 row.label
             ));
         }
@@ -393,6 +429,127 @@ pub fn check_e2_io_budget(rows: &[Row]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Outcome of one performance gate, as recorded in the machine-readable
+/// per-experiment JSON (see [`experiment_record_json`]).
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// Gate name (the ceiling constant it enforces).
+    pub name: String,
+    /// Whether the gate passed.
+    pub passed: bool,
+    /// The offending-row description on failure, or a short pass note.
+    pub detail: String,
+}
+
+impl GateOutcome {
+    /// Records a gate-check result under `name`.
+    pub fn of(name: &str, result: &Result<(), String>) -> Self {
+        Self {
+            name: name.to_string(),
+            passed: result.is_ok(),
+            detail: match result {
+                Ok(()) => "within ceiling".to_string(),
+                Err(msg) => msg.clone(),
+            },
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_number(v: f64) -> String {
+    // JSON has no NaN/Infinity; record them as null rather than emitting an
+    // unparseable file.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders one experiment's rows and gate verdicts as a JSON document — the
+/// `BENCH_E<k>.json` record `reproduce --json <dir>` writes and CI uploads,
+/// so the performance trajectory is machine-readable run over run. No
+/// external serialisation crate is available offline, so the (flat,
+/// escape-safe) document is written by hand.
+pub fn experiment_record_json(
+    experiment: &str,
+    title: &str,
+    rows: &[Row],
+    gates: &[GateOutcome],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"experiment\": \"{}\",\n",
+        json_escape(experiment)
+    ));
+    out.push_str(&format!("  \"title\": \"{}\",\n", json_escape(title)));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"case\": \"{}\", \"values\": {{",
+            json_escape(&row.label)
+        ));
+        for (j, (name, value)) in row.values.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{}\": {}",
+                json_escape(name),
+                json_number(*value)
+            ));
+        }
+        out.push_str(if i + 1 < rows.len() { "}},\n" } else { "}}\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"gates\": [\n");
+    for (i, gate) in gates.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"passed\": {}, \"detail\": \"{}\"}}{}\n",
+            json_escape(&gate.name),
+            gate.passed,
+            json_escape(&gate.detail),
+            if i + 1 < gates.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_E<k>.json` for one experiment into `dir` (creating it),
+/// returning the path written.
+pub fn write_experiment_record(
+    dir: &std::path::Path,
+    experiment: &str,
+    title: &str,
+    rows: &[Row],
+    gates: &[GateOutcome],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{}.json", experiment.to_uppercase()));
+    std::fs::write(
+        &path,
+        experiment_record_json(experiment, title, rows, gates),
+    )?;
+    Ok(path)
 }
 
 /// **E8 — concentration of the colouring.** Monte-Carlo check of Lemma 3
@@ -493,8 +650,85 @@ mod tests {
         let err = check_e7_work_budget(&bad).unwrap_err();
         assert!(err.contains("exceeds"), "{err}");
 
+        // A regression to the PR 2–4 incidence-list constant (9.75–10.3)
+        // must also trip the tightened ceiling.
+        let incidence_regression = vec![Row::new("E=8000 cache-oblivious")
+            .col("work_ops", 6.973e6)
+            .col("E^1.5", 7.155e5)
+            .col("work/E^1.5", 9.75)];
+        let err = check_e7_work_budget(&incidence_regression).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+
         let unrelated = vec![Row::new("E=4000 hu-tao-chung").col("work/E^1.5", 1e9)];
         check_e7_work_budget(&unrelated).expect("gate only watches the cache-oblivious rows");
+    }
+
+    #[test]
+    fn e3_io_gate_passes_current_code_and_catches_regressions() {
+        let rows = experiment_e3(4_000, &[(1 << 10, 32), (1 << 13, 32)]);
+        check_e3_io_budget(&rows).expect("current implementation must satisfy the ceiling");
+
+        // A regression to the incidence-list implementation's worst recorded
+        // row (145.97 at M=512 B=32)…
+        let incidence_regression = vec![Row::new("M=512 B=32")
+            .col("io", 2.650e5)
+            .col("io/bound", 145.97)];
+        let err = check_e3_io_budget(&incidence_regression).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+
+        // …and the subtler one to its best row (79.75 at M=16384 B=32) must
+        // both trip the ceiling.
+        let best_row_regression = vec![Row::new("M=16384 B=32")
+            .col("io", 2.559e4)
+            .col("io/bound", 79.75)];
+        let err = check_e3_io_budget(&best_row_regression).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+
+        let missing_column = vec![Row::new("M=512 B=32").col("io", 1.0)];
+        assert!(check_e3_io_budget(&missing_column).is_err());
+    }
+
+    #[test]
+    fn experiment_records_render_valid_flat_json() {
+        let rows = vec![
+            Row::new("M=512 B=32")
+                .col("io", 1.055e5)
+                .col("io/bound", 58.13),
+            Row::new("quote\"case")
+                .col("weird", f64::NAN)
+                .col("neg", -1.5),
+        ];
+        let gates = vec![
+            GateOutcome::of("CACHE_OBLIVIOUS_IO_CEILING", &Ok(())),
+            GateOutcome::of(
+                "CACHE_OBLIVIOUS_WORK_CEILING",
+                &Err("row 'x': broke\nbadly".to_string()),
+            ),
+        ];
+        let json = experiment_record_json("e3", "E3: cache-obliviousness", &rows, &gates);
+        // Structure and escaping: balanced braces, escaped quote and newline,
+        // NaN downgraded to null, booleans verbatim.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(json.contains("\"experiment\": \"e3\""));
+        assert!(json.contains("\"io/bound\": 58.13"));
+        assert!(json.contains("quote\\\"case"));
+        assert!(json.contains("\"weird\": null"));
+        assert!(json.contains("\"passed\": true"));
+        assert!(json.contains("\"passed\": false"));
+        assert!(json.contains("broke\\nbadly"));
+        assert!(!json.contains("NaN"));
+
+        let dir = std::env::temp_dir().join("trienum-bench-json-test");
+        let path =
+            write_experiment_record(&dir, "e3", "E3: cache-obliviousness", &rows, &gates).unwrap();
+        assert!(path.ends_with("BENCH_E3.json"));
+        let round = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(round, json);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -6,53 +6,96 @@
 //! Plain triangle enumeration is the `(1, 1, 1)` problem under the constant
 //! colouring.
 //!
-//! Each recursive call:
+//! Each subproblem of the colour-refinement tree:
 //!
 //! 1. enumerates the *proper* triangles through every **local high-degree
 //!    vertex** (degree ≥ E/8 within the current subproblem; at most 16 of
 //!    them, see [`MAX_LOCAL_HIGH_DEGREE`]) with Lemma 1, removing each such
 //!    vertex's edges afterwards;
 //! 2. refines the colouring with one fresh random bit per vertex,
-//!    `ξ'(v) = 2ξ(v) − b(v)`, `b` drawn from a 4-wise independent family;
-//! 3. recurses on the 8 colour vectors
+//!    `ξ'(v) = 2ξ(v) − b(v)`, `b` drawn from a 4-wise independent family —
+//!    one bit function **per tree level**, installed up front as a batch
+//!    (see [`RefinedColoring::push_batch`]), so sibling subproblems share
+//!    the same refinement and the whole tree is a function of the seed and
+//!    the level alone (which is what lets two different tree-evaluation
+//!    orders compute the identical tree);
+//! 3. splits into the 8 colour vectors
 //!    `{2c0−1, 2c0} × {2c1−1, 2c1} × {2c2−1, 2c2}`, each restricted to the
 //!    edges compatible with that vector.
 //!
-//! The recursion bottoms out on empty inputs, on inputs of constant size, or
-//! at depth `log₄ E` (where a wedge-join in the style of Dementiev's
-//! sort-based algorithm finishes the job, see [`base_case_from_arcs`]) —
-//! none of which involves the machine parameters `M` or `B`. The
-//! **code below never reads the machine configuration**; every I/O the run is
-//! charged comes from LRU misses in the simulator, which is exactly how a
-//! cache-oblivious algorithm is supposed to be evaluated.
+//! The recursion bottoms out on constant-size inputs or at depth `log₄ E` —
+//! neither involves the machine parameters. The **code below never reads
+//! the machine configuration**; every I/O the run is charged comes from LRU
+//! misses in the simulator, which is exactly how a cache-oblivious algorithm
+//! is supposed to be evaluated.
 //!
-//! ## Single-pass child partitioning
+//! ## Subproblem representation: canonical edge lists
 //!
-//! A subproblem is represented by its **incidence list**: both orientations
-//! `(u, v)` and `(v, u)` of every edge, sorted by `(source, destination)`.
-//! The list is sorted exactly once, at the root; every later operation is a
-//! scan that preserves the order, so children inherit sortedness for free.
-//! This buys each recursion level:
+//! A subproblem is its **canonical edge list**: every edge `(u, v)`, `u < v`,
+//! one word each, sorted lexicographically — half the volume of the
+//! incidence-list (both-orientations) representation this module previously
+//! used. The list is "sorted" exactly once, at the root, through the
+//! defensive [`emalgo::oblivious_sort_by_key`], whose sorted-input detection
+//! turns the already-sorted input into a plain copy scan. Partitioning is
+//! **order-preserving** (colour refinement splits classes without reordering
+//! within them), so every child inherits the parent's `(u, v)` sort and *no
+//! subproblem below the root ever sorts its input* — a one-scan
+//! `debug_assert` checks the inherited sortedness during each routing scan
+//! at zero extra I/O.
 //!
-//! * **degrees by run length** — the local degree of a vertex is the length
-//!   of its run in the incidence list, so step 1's high-degree detection is
-//!   one counting scan instead of writing and sorting a `2E`-endpoint file;
-//!   below the root even that scan disappears, because the parent's
-//!   partition scan tracks each child's candidate runs as it emits them
-//!   (see [`RunTracker`]);
-//! * **all eight children in one scan** — each edge is classified once per
-//!   level by its refined colour pair (the per-level bits are memoised in
-//!   [`RefinedColoring`]) and routed by [`emalgo::scan_partition`] to every
-//!   compatible child bucket in a single pass, instead of eight independent
-//!   filter scans that each re-evaluated the whole hash chain per edge.
+//! The price of dropping the reverse orientations is that a vertex's local
+//! degree is no longer a run length (a high-id hub appears only as a
+//! *destination*, scattered across the sorted list). Step 1 instead keeps a
+//! [`HeavyHitters`] summary (Misra–Gries, 16 counters) **per child, fed by
+//! the parent's routing scan**: every vertex with degree ≥ E_child/8 — a
+//! frequency above `1/17` of the child's endpoint stream — is guaranteed to
+//! be tracked, with counter error bounded by the decrement count. A child
+//! whose summary proves no vertex *can* clear the bar (the common case)
+//! skips degree work entirely; otherwise one exact counting scan over the
+//! ≤ 16 candidates settles the set. The result is provably the exact
+//! high-degree set, at the cost of one extra scan only when a plausible
+//! candidate exists.
 //!
-//! The change removes constant-factor scans and sorts only — the recursion
-//! tree, the subproblem contents and the Theorem 1 I/O bound are unchanged
-//! (experiment E7 tracks the resulting work ratio; the pre-rewrite
-//! implementation sat at ~52× `E^{3/2}`, see EXPERIMENTS.md).
+//! ## Base cases
+//!
+//! * `E ≤ `[`BASE_CASE_EDGES`]: the subproblem is **constant-sized**, so it
+//!   is joined entirely in core (the edge list is leased on the memory
+//!   gauge, wedges are probed against it by binary search) — no wedge file,
+//!   no sort, no extra I/O beyond the one segment read. This matches the
+//!   paper's O(1)-size base case, which assumes constant working storage.
+//! * **oversized depth-limit leaves** (`E > `[`BASE_CASE_EDGES`] at depth
+//!   `log₄ E`, rare): these are *batched across the whole run* — each
+//!   appends its wedges and its (already sorted) edges, tagged by leaf id,
+//!   to two run-global files; at the end the wedge file is sorted **once**
+//!   (`sort(ΣW)` instead of `Σ sort(W_leaf)`) and a single tagged
+//!   two-source merge ([`emalgo::kway_merge_tagged`]) closes every leaf's
+//!   wedges against its edges in one pass (see [`close_oversized_leaves`]).
+//!
+//! ## Two tree-evaluation orders
+//!
+//! [`RecursionStrategy::DepthFirst`] (production) evaluates the tree by
+//! recursion. Depth-first order is what makes the run cache-adaptive: a
+//! subtree whose working set fits internal memory is created, consumed and
+//! freed before the LRU cache ever evicts it, so deep levels cost no I/O at
+//! all and the charged I/O concentrates on the above-memory part of the
+//! tree — exactly the structure Theorem 1's `O(E^{3/2}/(√M·B))` bound needs.
+//!
+//! [`RecursionStrategy::LevelSynchronous`] evaluates the tree one depth at a
+//! time: all live nodes' edges grouped in eight level-wide bucket files, a
+//! single [`emalgo::PartitionWriter`] sweep per level (`O(depth)` partition
+//! sweeps in total, against one per internal node), per-node metadata in
+//! thin disk streams. It computes the identical tree and triangle multiset
+//! (the oracle suite pins both), and it is what the level-batched variant of
+//! this algorithm looks like — but **measurement rejected it as the
+//! production default**: holding an entire level's files live defeats the
+//! free-before-eviction locality of the depth-first order, and the deep
+//! levels' `E·2^d` volume then streams cold at every machine size (measured
+//! ~9–50× the depth-first I/O on E3, see EXPERIMENTS.md). It is retained as
+//! a doc-hidden toggle so the equivalence and pass-count guarantees stay
+//! executable.
 
-use emalgo::scan_partition;
-use emsim::{ExtVec, MemLease};
+use emalgo::{kway_merge_tagged, PartitionWriter};
+use emsim::{ExtVec, Machine, MemLease};
 use graphgen::{Edge, Triangle, VertexId};
 use kwise::{FourWise, RefinedColoring};
 
@@ -60,10 +103,12 @@ use crate::input::ExtGraph;
 use crate::lemma1::enumerate_through_vertex;
 use crate::sink::TriangleSink;
 use crate::util::{remove_incident_edges, SortKind};
+use crate::RecursionStrategy;
 
-/// Subproblems of at most this many edges are finished with the base-case
-/// algorithm directly. A fixed constant — the cache-oblivious model forbids
-/// dependence on `M`/`B`, not on constants.
+/// Subproblems of at most this many edges are joined in core directly. A
+/// fixed constant — the cache-oblivious model forbids dependence on `M`/`B`,
+/// not on constants (and the paper's base case likewise assumes constant
+/// working storage).
 const BASE_CASE_EDGES: usize = 24;
 
 /// The paper's bound on the number of local high-degree vertices: since each
@@ -75,54 +120,85 @@ const BASE_CASE_EDGES: usize = 24;
 /// silently degrading into unbounded quadratic Lemma 1 passes.
 const MAX_LOCAL_HIGH_DEGREE: usize = 16;
 
+/// Fan-out of the colour refinement (2³ child colour vectors per node).
+const CHILDREN: usize = 8;
+
 /// A colour vector `(c0, c1, c2)` of a subproblem.
 type ColorVector = (u64, u64, u64);
 
-/// A directed half-edge `(source, destination)`, packed into one word.
-/// Every undirected edge of a subproblem appears under both orientations.
-type Arc = (u32, u32);
+/// A leaf-tagged record `(leaf, v, w, u)` of the batched oversized base
+/// case: a wedge `v–u–w` awaiting its closing edge, or a canonical edge
+/// `(v, w)` of the leaf (with `u = 0` unused). Both files are keyed by
+/// `(leaf, v, w)`.
+type LeafRecord = (u32, u32, u32, u32);
 
-/// In-core tracker of the largest degree runs of one child bucket, fed while
-/// the parent's partition scan emits the child's (sorted) incidence list.
+/// A Misra–Gries heavy-hitter summary of a subproblem's endpoint stream
+/// (each edge contributes both endpoints, so a vertex's frequency is its
+/// local degree).
 ///
-/// A child's local high-degree vertices all have degree ≥ E_child/8, and at
-/// most [`MAX_LOCAL_HIGH_DEGREE`] vertices can clear that bar, so the 16
-/// longest runs are guaranteed to contain every qualifying vertex even
-/// though E_child is only known once the scan finishes. The child filters
-/// the inherited candidates by its actual threshold and skips its own degree
-/// scan entirely — this is how the parent's vertex-locality is reused.
+/// With [`MAX_LOCAL_HIGH_DEGREE`] counters, every vertex whose degree
+/// exceeds `1/17` of the stream is guaranteed a counter, and a local
+/// high-degree vertex has degree ≥ E/8 = `1/16` of the stream — so the
+/// summary provably contains every vertex step 1 must process. Counters are
+/// lower bounds; `decrements` bounds the error (`count ≤ degree ≤ count +
+/// decrements`), and since `decrements ≤ stream/17 < E/8`, a vertex *not*
+/// in the summary can never be high-degree.
 #[derive(Default)]
-struct RunTracker {
-    run: Option<(VertexId, usize)>,
-    top: Vec<(VertexId, usize)>,
+struct HeavyHitters {
+    counters: Vec<(VertexId, u64)>,
+    decrements: u64,
 }
 
-impl RunTracker {
-    /// In-core footprint in words (for gauge accounting): the open run plus
-    /// the bounded top list.
-    const WORDS: u64 = 2 * (MAX_LOCAL_HIGH_DEGREE as u64 + 1) + 2;
+impl HeavyHitters {
+    /// In-core footprint in words (for gauge accounting).
+    const WORDS: u64 = 2 * MAX_LOCAL_HIGH_DEGREE as u64 + 1;
 
     fn feed(&mut self, v: VertexId) {
-        match &mut self.run {
-            Some((cur, d)) if *cur == v => *d += 1,
-            _ => {
-                if let Some(closed) = self.run.replace((v, 1)) {
-                    self.close(closed);
-                }
-            }
+        if let Some(c) = self.counters.iter_mut().find(|(x, _)| *x == v) {
+            c.1 += 1;
+            return;
         }
+        if self.counters.len() < MAX_LOCAL_HIGH_DEGREE {
+            self.counters.push((v, 1));
+            return;
+        }
+        self.decrements += 1;
+        for c in &mut self.counters {
+            c.1 -= 1;
+        }
+        self.counters.retain(|&(_, n)| n > 0);
     }
 
-    fn close(&mut self, entry: (VertexId, usize)) {
-        self.top.push(entry);
-        keep_top_candidates(&mut self.top);
+    fn feed_edge(&mut self, e: &Edge) {
+        self.feed(e.u);
+        self.feed(e.v);
     }
 
-    fn finish(mut self) -> Vec<(VertexId, usize)> {
-        if let Some(closed) = self.run.take() {
-            self.close(closed);
+    /// Summary of a whole edge stream (used at the root, which has no parent
+    /// sweep to piggyback on). One charged scan.
+    fn of_stream(machine: &Machine, edges: impl Iterator<Item = Edge>) -> Self {
+        let _lease = machine.gauge().lease(Self::WORDS);
+        let mut hh = Self::default();
+        for e in edges {
+            machine.work(1);
+            hh.feed_edge(&e);
         }
-        self.top
+        hh
+    }
+
+    /// The candidates that *could* have degree ≥ `e_here`/8 given the
+    /// counter error — every true high-degree vertex is among them, and an
+    /// empty result proves the high-degree set empty without any further
+    /// scan.
+    fn possible_high(&self, e_here: usize) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = self
+            .counters
+            .iter()
+            .filter(|&&(_, n)| 8 * (n + self.decrements) >= e_here as u64)
+            .map(|&(v, _)| v)
+            .collect();
+        out.sort_unstable();
+        out
     }
 }
 
@@ -130,16 +206,44 @@ struct CoContext<'a> {
     sink: &'a mut dyn TriangleSink,
     emitted: u64,
     depth_limit: usize,
-    next_seed: u64,
-    /// Number of recursive calls made (reported for the experiments).
+    /// Number of recursive subproblems solved (reported for the experiments).
     subproblems: u64,
     /// Maximum recursion depth reached.
     max_depth: usize,
     /// Times the ≤ 16 high-degree invariant had to be enforced by truncation
     /// (always 0 unless the degree accounting is broken).
     high_degree_truncations: u64,
+    /// Number of multi-way partition sweeps performed: one per internal node
+    /// under the depth-first driver, one per *level* under the
+    /// level-synchronous driver (the pass-count the O(depth) test pins).
+    partition_sweeps: u64,
     /// Gauge lease tracking the colouring's memoised bit evaluations.
     bit_cache_lease: MemLease,
+    /// The run-global files of the batched oversized-leaf wedge join.
+    leaf_batch: LeafBatch,
+}
+
+/// The run-global files of the batched oversized-leaf base case: wedges and
+/// canonical edges, both tagged by leaf id, plus one `(c0, c1, c2, depth)`
+/// record per leaf. Leaf ids increase in emission order, so the edge file is
+/// born sorted by `(leaf, v, w)`; only the wedge file needs the single
+/// run-global sort.
+struct LeafBatch {
+    wedges: ExtVec<LeafRecord>,
+    edges: ExtVec<LeafRecord>,
+    info: ExtVec<(u32, u32, u32, u32)>,
+    count: u32,
+}
+
+impl LeafBatch {
+    fn new(machine: &Machine) -> Self {
+        Self {
+            wedges: ExtVec::new(machine),
+            edges: ExtVec::new(machine),
+            info: ExtVec::new(machine),
+            count: 0,
+        }
+    }
 }
 
 /// Statistics of a cache-oblivious run (besides the emitted count).
@@ -151,14 +255,19 @@ pub(crate) struct CacheObliviousStats {
     pub max_depth: usize,
     /// Times the local high-degree set had to be truncated to 16 entries.
     pub high_degree_truncations: u64,
+    /// Number of multi-way partition sweeps performed.
+    pub partition_sweeps: u64,
 }
 
 /// Runs the cache-oblivious randomized algorithm on `graph` with the given
-/// random seed; returns the number of triangles emitted and recursion
-/// statistics.
+/// random seed and tree-evaluation order; returns the number of triangles
+/// emitted and recursion statistics. Both orders compute the identical
+/// recursion tree (the refinement bits are a function of `seed` and the
+/// level alone).
 pub(crate) fn run_cache_oblivious(
     graph: &ExtGraph,
     seed: u64,
+    strategy: RecursionStrategy,
     sink: &mut dyn TriangleSink,
 ) -> (u64, CacheObliviousStats) {
     let machine = graph.machine().clone();
@@ -170,43 +279,52 @@ pub(crate) fn run_cache_oblivious(
                 subproblems: 1,
                 max_depth: 0,
                 high_degree_truncations: 0,
+                partition_sweeps: 0,
             },
         );
     }
     // Depth limit log₄ E (a function of the input size only).
     let depth_limit = ((e as f64).ln() / 4f64.ln()).ceil() as usize;
 
-    // Root incidence list: both orientations of every edge, sorted once.
-    // Children inherit the sortedness through the order-preserving partition,
-    // so no subproblem below the root ever sorts its input again.
-    let mut arcs_raw: ExtVec<Arc> = ExtVec::new(&machine);
-    for edge in graph.edges().iter() {
-        machine.work(1);
-        arcs_raw.push((edge.u, edge.v));
-        arcs_raw.push((edge.v, edge.u));
-    }
-    let arcs = emalgo::oblivious_sort_by_key(&arcs_raw, |a| *a);
-    drop(arcs_raw);
+    // Root canonical edge list. The input is already sorted, which the
+    // defensive sort detects in one charged scan and answers with a copy —
+    // this is exactly the call site the sorted-input early exit exists for.
+    let root = emalgo::oblivious_sort_by_key(graph.edges(), |e| (e.u, e.v));
+
+    // The per-level refinement bits: one 4-wise independent function per tree
+    // depth, derived from the seed by a fixed splitmix sequence. Memoised —
+    // the recursion queries every endpoint's colour at every level, and the
+    // memo's in-core footprint is tracked on the gauge through
+    // `ctx.bit_cache_lease`.
+    let mut bit_seed = seed;
+    let mut coloring = RefinedColoring::memoised();
+    coloring.push_batch((0..depth_limit).map(|_| FourWise::new(splitmix(&mut bit_seed))));
 
     let mut ctx = CoContext {
         sink,
         emitted: 0,
         depth_limit,
-        next_seed: seed,
         subproblems: 0,
         max_depth: 0,
         high_degree_truncations: 0,
+        partition_sweeps: 0,
         bit_cache_lease: machine.gauge().lease(0),
+        leaf_batch: LeafBatch::new(&machine),
     };
-    // Memoised colouring: the recursion queries every endpoint's colour at
-    // every level, and the memo's in-core footprint is tracked on the gauge
-    // through `ctx.bit_cache_lease`.
-    let mut coloring = RefinedColoring::memoised();
-    solve(&mut ctx, arcs, None, &mut coloring, (1, 1, 1), 0);
+    match strategy {
+        RecursionStrategy::DepthFirst => {
+            solve_depth_first(&mut ctx, root, None, &coloring, (1, 1, 1), 0)
+        }
+        RecursionStrategy::LevelSynchronous => {
+            solve_level_synchronous(&mut ctx, &machine, root, &coloring)
+        }
+    }
+    close_oversized_leaves(&mut ctx, &machine, &coloring);
     let stats = CacheObliviousStats {
         subproblems: ctx.subproblems,
         max_depth: ctx.max_depth,
         high_degree_truncations: ctx.high_degree_truncations,
+        partition_sweeps: ctx.partition_sweeps,
     };
     (ctx.emitted, stats)
 }
@@ -219,52 +337,30 @@ fn pair_compatible(cu: u64, cv: u64, target: ColorVector) -> bool {
     (cu, cv) == (c0, c1) || (cu, cv) == (c1, c2) || (cu, cv) == (c0, c2)
 }
 
-/// Whether edge `e` is compatible with colour vector `target` under `coloring`
-/// (paper: not *incompatible*, i.e. its ordered colour pair appears among the
-/// pairs a proper triangle would use). The production path precomputes the
-/// colour pair once per edge and calls [`pair_compatible`] directly; this
-/// wrapper is the reference definition the partition-routing test checks
-/// against.
+/// Whether edge `e` is compatible with colour vector `target` under the full
+/// depth of `coloring` (paper: not *incompatible*, i.e. its ordered colour
+/// pair appears among the pairs a proper triangle would use). The production
+/// path computes prefix colours once per edge and calls [`pair_compatible`]
+/// directly; this wrapper is the reference definition the partition-routing
+/// test checks against.
 #[cfg_attr(not(test), allow(dead_code))]
 fn compatible(e: &Edge, coloring: &RefinedColoring, target: ColorVector) -> bool {
     pair_compatible(coloring.color(e.u), coloring.color(e.v), target)
 }
 
-/// Whether triangle `t` is proper for `target` under `coloring`.
-fn proper(t: &Triangle, coloring: &RefinedColoring, target: ColorVector) -> bool {
+/// Whether triangle `t` is proper for `target` under the depth-`depth`
+/// prefix of `coloring`.
+fn proper_at(t: &Triangle, coloring: &RefinedColoring, depth: usize, target: ColorVector) -> bool {
     (
-        coloring.color(t.a),
-        coloring.color(t.b),
-        coloring.color(t.c),
+        coloring.color_at(t.a, depth),
+        coloring.color_at(t.b, depth),
+        coloring.color_at(t.c, depth),
     ) == target
-}
-
-/// The canonical (lexicographically sorted) edge list of an incidence list:
-/// one scan keeping the `source < destination` orientation of every edge.
-fn canonical_edges(arcs: &ExtVec<Arc>) -> ExtVec<Edge> {
-    let machine = arcs.machine().clone();
-    let mut out: ExtVec<Edge> = ExtVec::new(&machine);
-    for (a, b) in arcs.iter() {
-        machine.work(1);
-        if a < b {
-            out.push(Edge::new(a, b));
-        }
-    }
-    out
-}
-
-/// Removes from an incidence list every arc touching a vertex in `forbidden`
-/// (sorted slice). One order-preserving scan.
-fn remove_incident_arcs(arcs: &ExtVec<Arc>, forbidden: &[VertexId]) -> ExtVec<Arc> {
-    emalgo::scan_filter(arcs, |&(a, b)| {
-        forbidden.binary_search(&a).is_err() && forbidden.binary_search(&b).is_err()
-    })
 }
 
 /// The one place that decides which candidates survive when there are more
 /// than [`MAX_LOCAL_HIGH_DEGREE`]: keep the highest degrees, ties broken by
-/// smaller vertex id. Shared by [`RunTracker`] and
-/// [`select_local_high_degree`] so the selection ordering cannot drift.
+/// smaller vertex id.
 fn keep_top_candidates(candidates: &mut Vec<(VertexId, usize)>) {
     if candidates.len() > MAX_LOCAL_HIGH_DEGREE {
         candidates.sort_unstable_by_key(|&(v, d)| (std::cmp::Reverse(d), v));
@@ -287,176 +383,83 @@ fn select_local_high_degree(mut candidates: Vec<(VertexId, usize)>) -> (Vec<Vert
     (high, truncated)
 }
 
-/// Base case: wedge-join enumeration straight off the incidence list (the
-/// same sort–merge idea as Dementiev's baseline, specialised to the arc
-/// representation so no canonical edge list is materialised and no input
-/// sort is ever needed — the arcs arrive sorted).
+/// Resolves the exact local high-degree set from a [`HeavyHitters`] summary.
 ///
-/// Out-neighbours of `u` under the `smaller → larger` orientation are the
-/// run entries `(u, b)` with `b > u`; every pair in a run is a wedge, and a
-/// wedge `(v, w, u)` is a triangle iff the arc `(v, w)` exists. Cost: one
-/// scan of the arcs, `sort(W)` for the wedge file, one merge scan.
-fn base_case_from_arcs(
-    arcs: &ExtVec<Arc>,
-    mut filter: impl FnMut(Triangle) -> bool,
-    sink: &mut dyn TriangleSink,
-) -> u64 {
-    let machine = arcs.machine().clone();
-    let mut wedges: ExtVec<(u32, u32, u32)> = ExtVec::new(&machine);
-    {
-        let mut lease = machine.gauge().lease(0);
-        let mut current: Option<u32> = None;
-        let mut out_neighbours: Vec<u32> = Vec::new();
-        let flush = |u: u32, outn: &mut Vec<u32>, wedges: &mut ExtVec<(u32, u32, u32)>| {
-            for i in 0..outn.len() {
-                for j in (i + 1)..outn.len() {
-                    machine.work(1);
-                    let (v, w) = (outn[i].min(outn[j]), outn[i].max(outn[j]));
-                    wedges.push((v, w, u));
-                }
-            }
-            outn.clear();
-        };
-        for (a, b) in arcs.iter() {
-            machine.work(1);
-            if current != Some(a) {
-                if let Some(u) = current {
-                    flush(u, &mut out_neighbours, &mut wedges);
-                }
-                current = Some(a);
-                lease.shrink(lease.words());
-            }
-            if b > a {
-                out_neighbours.push(b);
-                lease.grow(1);
-            }
-        }
-        if let Some(u) = current {
-            flush(u, &mut out_neighbours, &mut wedges);
-        }
+/// If no tracked vertex can clear the bar even with the counter error added
+/// (the common case), the set is provably empty and no scan happens at all.
+/// Otherwise one charged counting scan over `edges()` measures the ≤ 16
+/// candidates' exact degrees.
+fn resolve_high_degree<I: Iterator<Item = Edge>>(
+    machine: &Machine,
+    summary: &HeavyHitters,
+    e_here: usize,
+    edges: impl Fn() -> I,
+) -> (Vec<VertexId>, bool) {
+    let possible = summary.possible_high(e_here);
+    if possible.is_empty() {
+        return (Vec::new(), false);
     }
-
-    let wedges_sorted = emalgo::oblivious_sort_by_key(&wedges, |&(v, w, _)| (v, w));
-    drop(wedges);
-
-    let mut emitted = 0u64;
-    let mut edge_iter = arcs.iter().filter(|&(a, b)| a < b).peekable();
-    for (v, w, u) in wedges_sorted.iter() {
+    let _lease = machine.gauge().lease(2 * possible.len() as u64);
+    let mut degrees = vec![0usize; possible.len()];
+    for e in edges() {
         machine.work(1);
-        let target = (v, w);
-        while let Some(&e) = edge_iter.peek() {
-            if e < target {
-                edge_iter.next();
-            } else {
-                break;
-            }
+        if let Ok(i) = possible.binary_search(&e.u) {
+            degrees[i] += 1;
         }
-        if edge_iter.peek() == Some(&target) {
-            let t = Triangle::new(u, v, w);
-            if filter(t) {
-                sink.emit(t);
-                emitted += 1;
-            }
+        if let Ok(i) = possible.binary_search(&e.v) {
+            degrees[i] += 1;
         }
     }
-    emitted
+    let exact: Vec<(VertexId, usize)> = possible
+        .into_iter()
+        .zip(degrees)
+        .filter(|&(_, d)| 8 * d >= e_here)
+        .collect();
+    select_local_high_degree(exact)
 }
 
-fn solve(
+/// Step 1 of one subproblem: Lemma 1 over the local high-degree vertices,
+/// emitting the proper triangles through each and removing its edges before
+/// the next. Returns the list with every `high` vertex's edges removed.
+/// Shared verbatim by both drivers so the emissions cannot drift.
+fn enumerate_high_degree(
     ctx: &mut CoContext<'_>,
-    arcs: ExtVec<Arc>,
-    inherited: Option<Vec<(VertexId, usize)>>,
-    coloring: &mut RefinedColoring,
-    target: ColorVector,
+    mut edges: ExtVec<Edge>,
+    high: &[VertexId],
+    coloring: &RefinedColoring,
     depth: usize,
-) {
-    ctx.subproblems += 1;
-    ctx.max_depth = ctx.max_depth.max(depth);
-    let e_here = arcs.len() / 2;
-    if e_here < 3 {
-        return;
-    }
-    if e_here <= BASE_CASE_EDGES || depth >= ctx.depth_limit {
-        let emitted = {
-            let coloring_ref: &RefinedColoring = coloring;
-            base_case_from_arcs(&arcs, |t| proper(&t, coloring_ref, target), ctx.sink)
-        };
+    target: ColorVector,
+) -> ExtVec<Edge> {
+    let mut enumerated_all = true;
+    for &v in high {
+        let emitted = enumerate_through_vertex(
+            &edges,
+            v,
+            SortKind::Oblivious,
+            |t| proper_at(&t, coloring, depth, target),
+            ctx.sink,
+        );
         ctx.emitted += emitted;
-        return;
-    }
-
-    // ---- Step 1: local high-degree vertices. ----
-    // The incidence list is sorted by source, so each vertex's local degree
-    // is the length of its run. Below the root the parent's partition scan
-    // already tracked the candidate runs (see [`RunTracker`]); only the root
-    // pays for a counting scan of its own. The root scan deliberately keeps
-    // *every* qualifying run (uncapped, unlike a RunTracker) so that
-    // `select_local_high_degree` can still detect a drifted invariant.
-    let machine = arcs.machine().clone();
-    let candidates: Vec<(VertexId, usize)> = match inherited {
-        Some(top) => top.into_iter().filter(|&(_, d)| 8 * d >= e_here).collect(),
-        None => {
-            let mut found = Vec::new();
-            let mut run: Option<(VertexId, usize)> = None;
-            for (from, _) in arcs.iter() {
-                machine.work(1);
-                match run {
-                    Some((v, d)) if v == from => run = Some((v, d + 1)),
-                    _ => {
-                        if let Some((v, d)) = run {
-                            if 8 * d >= e_here {
-                                found.push((v, d));
-                            }
-                        }
-                        run = Some((from, 1));
-                    }
-                }
-            }
-            if let Some((v, d)) = run {
-                if 8 * d >= e_here {
-                    found.push((v, d));
-                }
-            }
-            found
-        }
-    };
-    let (high, truncated) = select_local_high_degree(candidates);
-    ctx.high_degree_truncations += u64::from(truncated);
-
-    let mut current = arcs;
-    if !high.is_empty() {
-        let mut edges = canonical_edges(&current);
-        for &v in &high {
-            let emitted = {
-                let coloring_ref: &RefinedColoring = coloring;
-                enumerate_through_vertex(
-                    &edges,
-                    v,
-                    SortKind::Oblivious,
-                    |t| proper(&t, coloring_ref, target),
-                    ctx.sink,
-                )
-            };
-            ctx.emitted += emitted;
-            // Remove the vertex's edges so no later step sees them again.
-            edges = remove_incident_edges(&edges, &[v]);
-            if edges.len() < 3 {
-                break;
-            }
-        }
-        current = remove_incident_arcs(&current, &high);
-        if current.len() < 6 {
-            return;
+        // Remove the vertex's edges so no later step sees them again.
+        edges = remove_incident_edges(&edges, &[v]);
+        if edges.len() < 3 {
+            enumerated_all = false;
+            break;
         }
     }
+    if !enumerated_all {
+        // The loop stopped early; the remaining high vertices cannot close
+        // any more proper triangles among < 3 edges, but their edges must
+        // still be excluded from the children.
+        edges = remove_incident_edges(&edges, high);
+    }
+    edges
+}
 
-    // ---- Step 2: refine the colouring with one fresh random bit. ----
-    let bit = FourWise::new(splitmix(&mut ctx.next_seed));
-    coloring.push(bit);
-
-    // ---- Step 3: all eight children in one routing scan. ----
+/// The eight child colour vectors of `target`, in slot order.
+fn child_vectors(target: ColorVector) -> [ColorVector; CHILDREN] {
     let (c0, c1, c2) = target;
-    let mut children = [(0u64, 0u64, 0u64); 8];
+    let mut children = [(0u64, 0u64, 0u64); CHILDREN];
     let mut k = 0;
     for z0 in [2 * c0 - 1, 2 * c0] {
         for z1 in [2 * c1 - 1, 2 * c1] {
@@ -466,22 +469,229 @@ fn solve(
             }
         }
     }
-    let mut trackers: Vec<RunTracker> = (0..8).map(|_| RunTracker::default()).collect();
+    children
+}
+
+/// Constant-size base case, entirely in core: the sorted edge list is leased
+/// onto the memory gauge, every vertex's out-neighbour run yields its
+/// wedges, and each wedge is closed by binary search in the list itself. No
+/// wedge file, no sort — the only I/O is the one charged read of the
+/// segment.
+fn solve_leaf_in_core(
+    machine: &Machine,
+    segment: impl Iterator<Item = Edge>,
+    mut filter: impl FnMut(Triangle) -> bool,
+    sink: &mut dyn TriangleSink,
+) -> u64 {
+    let mut lease = machine.gauge().lease(0);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for e in segment {
+        machine.work(1);
+        edges.push((e.u, e.v));
+        lease.grow(1);
+    }
+    debug_assert!(edges.windows(2).all(|w| w[0] <= w[1]));
+    let probe_cost = 1 + edges.len().max(2).ilog2() as u64;
+    let mut emitted = 0u64;
+    let mut i = 0;
+    while i < edges.len() {
+        let u = edges[i].0;
+        let mut j = i;
+        while j < edges.len() && edges[j].0 == u {
+            j += 1;
+        }
+        for x in i..j {
+            for y in (x + 1)..j {
+                // A wedge v–u–w closes a triangle iff {v, w} is an edge.
+                machine.work(probe_cost);
+                let (v, w) = (edges[x].1.min(edges[y].1), edges[x].1.max(edges[y].1));
+                if edges.binary_search(&(v, w)).is_ok() {
+                    let t = Triangle::new(u, v, w);
+                    if filter(t) {
+                        sink.emit(t);
+                        emitted += 1;
+                    }
+                }
+            }
+        }
+        i = j;
+    }
+    emitted
+}
+
+/// One scan of an oversized leaf's sorted edge segment, appending its wedges
+/// and its edges (both tagged with the fresh leaf id) to the run-global
+/// batch files. The join itself happens once for all such leaves, in
+/// [`close_oversized_leaves`].
+fn batch_oversized_leaf(
+    machine: &Machine,
+    batch: &mut LeafBatch,
+    segment: impl Iterator<Item = Edge>,
+    target: ColorVector,
+    depth: usize,
+) {
+    let leaf = batch.count;
+    batch.count += 1;
+    let (t0, t1, t2) = target;
+    batch
+        .info
+        .push((t0 as u32, t1 as u32, t2 as u32, depth as u32));
+
+    let mut lease = machine.gauge().lease(0);
+    let mut current: Option<u32> = None;
+    let mut out_neighbours: Vec<u32> = Vec::new();
+    let flush = |u: u32, outn: &mut Vec<u32>, wedges: &mut ExtVec<LeafRecord>| {
+        for i in 0..outn.len() {
+            for j in (i + 1)..outn.len() {
+                machine.work(1);
+                let (v, w) = (outn[i].min(outn[j]), outn[i].max(outn[j]));
+                wedges.push((leaf, v, w, u));
+            }
+        }
+        outn.clear();
+    };
+    for e in segment {
+        machine.work(1);
+        if current != Some(e.u) {
+            if let Some(u) = current {
+                flush(u, &mut out_neighbours, &mut batch.wedges);
+            }
+            current = Some(e.u);
+            lease.shrink(lease.words());
+        }
+        out_neighbours.push(e.v);
+        lease.grow(1);
+        batch.edges.push((leaf, e.u, e.v, 0));
+    }
+    if let Some(u) = current {
+        flush(u, &mut out_neighbours, &mut batch.wedges);
+    }
+}
+
+/// The batched base case's closing pass: sort the run-global wedge file once
+/// by `(leaf, v, w)` (the edge file is already in that order) and stream a
+/// tagged two-source merge over both. An edge arrives before its equal-key
+/// wedges (tag 0 wins ties), so a wedge closes a triangle exactly when the
+/// last edge seen carries its key; the leaf-info stream supplies each leaf's
+/// colour vector and depth for the properness filter.
+fn close_oversized_leaves(ctx: &mut CoContext<'_>, machine: &Machine, coloring: &RefinedColoring) {
+    if ctx.leaf_batch.count == 0 {
+        return;
+    }
+    let wedges_sorted =
+        emalgo::oblivious_sort_by_key(&ctx.leaf_batch.wedges, |&(l, v, w, _)| (l, v, w));
+    ctx.leaf_batch.wedges.clear();
+    debug_assert!(emalgo::is_sorted_by_key(
+        &ctx.leaf_batch.edges,
+        |&(l, v, w, _)| (l, v, w)
+    ));
+
+    let mut info_iter = ctx.leaf_batch.info.iter();
+    let mut info_next: u32 = 0;
+    let mut current_info: Option<(u32, u32, u32, u32)> = None;
+    let mut last_edge: Option<(u32, u32, u32)> = None;
+    for (tag, (l, v, w, u)) in kway_merge_tagged(
+        machine,
+        vec![ctx.leaf_batch.edges.iter(), wedges_sorted.iter()],
+        |&(l, v, w, _)| (l, v, w),
+    ) {
+        if tag == 0 {
+            last_edge = Some((l, v, w));
+            continue;
+        }
+        if last_edge != Some((l, v, w)) {
+            continue;
+        }
+        while info_next <= l {
+            current_info = info_iter.next();
+            info_next += 1;
+        }
+        let (t0, t1, t2, leaf_depth) = current_info.expect("leaf info for every tagged record");
+        let t = Triangle::new(u, v, w);
+        let target = (u64::from(t0), u64::from(t1), u64::from(t2));
+        if proper_at(&t, coloring, leaf_depth as usize, target) {
+            ctx.sink.emit(t);
+            ctx.emitted += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The depth-first driver (production path).
+// ---------------------------------------------------------------------------
+
+fn solve_depth_first(
+    ctx: &mut CoContext<'_>,
+    edges: ExtVec<Edge>,
+    inherited: Option<HeavyHitters>,
+    coloring: &RefinedColoring,
+    target: ColorVector,
+    depth: usize,
+) {
+    ctx.subproblems += 1;
+    ctx.max_depth = ctx.max_depth.max(depth);
+    let e_here = edges.len();
+    if e_here < 3 {
+        return;
+    }
+    let machine = edges.machine().clone();
+    if e_here <= BASE_CASE_EDGES {
+        let emitted = solve_leaf_in_core(
+            &machine,
+            edges.iter(),
+            |t| proper_at(&t, coloring, depth, target),
+            ctx.sink,
+        );
+        ctx.emitted += emitted;
+        return;
+    }
+    if depth >= ctx.depth_limit {
+        batch_oversized_leaf(&machine, &mut ctx.leaf_batch, edges.iter(), target, depth);
+        return;
+    }
+
+    // ---- Step 1: local high-degree vertices. ----
+    // Below the root the parent's routing scan already built this child's
+    // heavy-hitter summary; only the root pays for its own summary scan.
+    let summary = inherited.unwrap_or_else(|| HeavyHitters::of_stream(&machine, edges.iter()));
+    let (high, truncated) = resolve_high_degree(&machine, &summary, e_here, || edges.iter());
+    ctx.high_degree_truncations += u64::from(truncated);
+
+    let mut current = edges;
+    if !high.is_empty() {
+        current = enumerate_high_degree(ctx, current, &high, coloring, depth, target);
+        if current.len() < 3 {
+            return;
+        }
+    }
+
+    // ---- Steps 2–3: all eight children in one routing scan (this node's
+    // own partition sweep), child degree summaries fed en passant. ----
+    ctx.partition_sweeps += 1;
+    let children = child_vectors(target);
+    // The summaries stay resident until the last child consumes its own, so
+    // the lease must span the whole children loop (one recursion frame's
+    // worth per live ancestor), not just the routing scan.
+    let _summary_lease = machine.gauge().lease(CHILDREN as u64 * HeavyHitters::WORDS);
+    let mut summaries: Vec<HeavyHitters> = (0..CHILDREN).map(|_| HeavyHitters::default()).collect();
     let buckets = {
-        let _tracker_lease = machine.gauge().lease(8 * RunTracker::WORDS);
-        let coloring_ref: &RefinedColoring = coloring;
-        let trackers = &mut trackers;
-        scan_partition(&current, 8, move |&(a, b): &Arc| {
-            // Both orientations of an edge compute the same mask, so the
-            // child incidence lists stay consistent (and sorted).
-            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-            let cu = coloring_ref.color(lo);
-            let cv = coloring_ref.color(hi);
+        let summaries = &mut summaries;
+        let mut prev: Option<Edge> = None;
+        emalgo::scan_partition(&current, CHILDREN, move |e: &Edge| {
+            // The one-scan sortedness debug-assert: children must inherit
+            // the parent's (u, v) order, checked inline at zero extra I/O.
+            debug_assert!(
+                prev.is_none_or(|p| p <= *e),
+                "edge segment lost its inherited sort order"
+            );
+            prev = Some(*e);
+            let cu = coloring.color_at(e.u, depth + 1);
+            let cv = coloring.color_at(e.v, depth + 1);
             let mut mask = 0u32;
             for (i, &child) in children.iter().enumerate() {
                 if pair_compatible(cu, cv, child) {
                     mask |= 1 << i;
-                    trackers[i].feed(a);
+                    summaries[i].feed_edge(e);
                 }
             }
             mask
@@ -490,23 +700,203 @@ fn solve(
     drop(current);
     ctx.bit_cache_lease.resize(coloring.cached_bits() as u64);
 
-    for ((bucket, &child_target), tracker) in buckets.into_iter().zip(children.iter()).zip(trackers)
+    for ((bucket, &child_target), summary) in
+        buckets.into_iter().zip(children.iter()).zip(summaries)
     {
-        solve(
+        solve_depth_first(
             ctx,
             bucket,
-            Some(tracker.finish()),
+            Some(summary),
             coloring,
             child_target,
             depth + 1,
         );
     }
-    coloring.pop();
-    ctx.bit_cache_lease.resize(coloring.cached_bits() as u64);
+}
+
+// ---------------------------------------------------------------------------
+// The level-synchronous driver.
+// ---------------------------------------------------------------------------
+
+/// Per-level node metadata streams, all disk-resident: `meta` holds one
+/// `(edge count, candidate count, summary error)` per node, `targets` its
+/// colour vector (colours after `d` refinements fit 32 bits comfortably —
+/// `2^d ≤ √E`), `cands` the flattened `(vertex, counter)` entries of the
+/// node's inherited heavy-hitter summary. Node `j`'s edges are the next
+/// `len_j` records of bucket `j mod 8` (bucket 0 of 1 at the root).
+struct LevelMeta {
+    meta: ExtVec<(u32, u32, u32)>,
+    targets: ExtVec<(u32, u32, u32)>,
+    cands: ExtVec<(u32, u32)>,
+}
+
+impl LevelMeta {
+    fn empty(machine: &Machine) -> Self {
+        Self {
+            meta: ExtVec::new(machine),
+            targets: ExtVec::new(machine),
+            cands: ExtVec::new(machine),
+        }
+    }
+}
+
+fn solve_level_synchronous(
+    ctx: &mut CoContext<'_>,
+    machine: &Machine,
+    root: ExtVec<Edge>,
+    coloring: &RefinedColoring,
+) {
+    // Current level: the root is a single bucket holding the sorted root
+    // edge list.
+    let root_len = root.len();
+    let mut buckets: Vec<ExtVec<Edge>> = vec![root];
+    let mut level = LevelMeta::empty(machine);
+    level.meta.push((root_len as u32, 0, 0));
+    level.targets.push((1, 1, 1));
+
+    let mut depth = 0usize;
+    while !level.meta.is_empty() {
+        let mut next = LevelMeta::empty(machine);
+        let mut writer: Option<PartitionWriter<Edge>> = None;
+        let mut offsets = vec![0usize; buckets.len()];
+        {
+            let mut cands_iter = level.cands.iter();
+            for (j, ((len, ccount, error), (t0, t1, t2))) in
+                level.meta.iter().zip(level.targets.iter()).enumerate()
+            {
+                machine.work(1);
+                let len = len as usize;
+                let bucket = j % buckets.len();
+                let offset = offsets[bucket];
+                offsets[bucket] += len;
+                ctx.subproblems += 1;
+                ctx.max_depth = ctx.max_depth.max(depth);
+                // Always drain this node's candidate records, even when the
+                // node is dead, so the stream stays aligned.
+                let summary = HeavyHitters {
+                    counters: cands_iter
+                        .by_ref()
+                        .take(ccount as usize)
+                        .map(|(v, n)| (v, u64::from(n)))
+                        .collect(),
+                    decrements: u64::from(error),
+                };
+                let e_here = len;
+                if e_here < 3 {
+                    continue;
+                }
+                let segment = buckets[bucket].slice(offset, offset + len);
+                let target = (u64::from(t0), u64::from(t1), u64::from(t2));
+
+                if e_here <= BASE_CASE_EDGES {
+                    let emitted = solve_leaf_in_core(
+                        machine,
+                        segment.iter(),
+                        |t| proper_at(&t, coloring, depth, target),
+                        ctx.sink,
+                    );
+                    ctx.emitted += emitted;
+                    continue;
+                }
+                if depth >= ctx.depth_limit {
+                    batch_oversized_leaf(
+                        machine,
+                        &mut ctx.leaf_batch,
+                        segment.iter(),
+                        target,
+                        depth,
+                    );
+                    continue;
+                }
+
+                // ---- Step 1: local high-degree vertices (summary built by
+                // the parent's sweep; the root pays its own scan). ----
+                let summary = if depth == 0 {
+                    HeavyHitters::of_stream(machine, segment.iter())
+                } else {
+                    summary
+                };
+                let (high, truncated) =
+                    resolve_high_degree(machine, &summary, e_here, || segment.iter());
+                ctx.high_degree_truncations += u64::from(truncated);
+
+                let mut filtered: Option<ExtVec<Edge>> = None;
+                if !high.is_empty() {
+                    let mut local: ExtVec<Edge> = ExtVec::new(machine);
+                    for e in segment.iter() {
+                        machine.work(1);
+                        local.push(e);
+                    }
+                    let kept = enumerate_high_degree(ctx, local, &high, coloring, depth, target);
+                    if kept.len() < 3 {
+                        continue;
+                    }
+                    filtered = Some(kept);
+                }
+
+                // ---- Steps 2–3: route this node into the level's one
+                // distribution sweep. ----
+                let writer = writer.get_or_insert_with(|| {
+                    ctx.partition_sweeps += 1;
+                    PartitionWriter::new(machine, CHILDREN)
+                });
+                let children = child_vectors(target);
+                let before: [usize; CHILDREN] = std::array::from_fn(|slot| writer.bucket_len(slot));
+                let mut summaries: Vec<HeavyHitters> =
+                    (0..CHILDREN).map(|_| HeavyHitters::default()).collect();
+                {
+                    let _lease = machine.gauge().lease(CHILDREN as u64 * HeavyHitters::WORDS);
+                    let mut route =
+                        |writer: &mut PartitionWriter<Edge>,
+                         source: &mut dyn Iterator<Item = Edge>| {
+                            let mut prev: Option<Edge> = None;
+                            for e in source {
+                                debug_assert!(
+                                    prev.is_none_or(|p| p <= e),
+                                    "edge segment lost its inherited sort order"
+                                );
+                                prev = Some(e);
+                                let cu = coloring.color_at(e.u, depth + 1);
+                                let cv = coloring.color_at(e.v, depth + 1);
+                                let mut mask = 0u32;
+                                for (i, &child) in children.iter().enumerate() {
+                                    if pair_compatible(cu, cv, child) {
+                                        mask |= 1 << i;
+                                        summaries[i].feed_edge(&e);
+                                    }
+                                }
+                                writer.push(e, mask);
+                            }
+                        };
+                    match &filtered {
+                        Some(kept) => route(writer, &mut kept.iter()),
+                        None => route(writer, &mut segment.iter()),
+                    }
+                }
+                for (slot, summary) in summaries.into_iter().enumerate() {
+                    let child_len = writer.bucket_len(slot) - before[slot];
+                    next.meta.push((
+                        child_len as u32,
+                        summary.counters.len() as u32,
+                        summary.decrements as u32,
+                    ));
+                    let (z0, z1, z2) = children[slot];
+                    next.targets.push((z0 as u32, z1 as u32, z2 as u32));
+                    for (v, n) in summary.counters {
+                        next.cands.push((v, n as u32));
+                    }
+                }
+                ctx.bit_cache_lease.resize(coloring.cached_bits() as u64);
+            }
+        }
+        buckets = writer.map(PartitionWriter::finish).unwrap_or_default();
+        level = next;
+        depth += 1;
+    }
 }
 
 /// A small deterministic seed sequence (splitmix64) so one user-supplied seed
-/// drives the whole recursion reproducibly.
+/// drives the whole per-level bit schedule reproducibly.
 fn splitmix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
@@ -523,41 +913,59 @@ mod tests {
     use graphgen::{generators, naive};
     use kwise::BitFunctionFamily;
 
-    fn run(g: &graphgen::Graph, cfg: EmConfig, seed: u64) -> (u64, u64, CacheObliviousStats) {
+    const BOTH: [RecursionStrategy; 2] = [
+        RecursionStrategy::DepthFirst,
+        RecursionStrategy::LevelSynchronous,
+    ];
+
+    fn run_with(
+        g: &graphgen::Graph,
+        cfg: EmConfig,
+        seed: u64,
+        strategy: RecursionStrategy,
+    ) -> (u64, u64, CacheObliviousStats) {
         let machine = Machine::new(cfg);
         let eg = ExtGraph::load(&machine, g);
         machine.cold_cache();
         let before = machine.io().total();
         let mut sink = StrictSink::new();
-        let (n, stats) = run_cache_oblivious(&eg, seed, &mut sink);
+        let (n, stats) = run_cache_oblivious(&eg, seed, strategy, &mut sink);
         (n, machine.io().total() - before, stats)
     }
 
+    fn run(g: &graphgen::Graph, cfg: EmConfig, seed: u64) -> (u64, u64, CacheObliviousStats) {
+        run_with(g, cfg, seed, RecursionStrategy::DepthFirst)
+    }
+
     #[test]
-    fn counts_match_oracle_on_er_graphs() {
+    fn counts_match_oracle_on_er_graphs_under_both_drivers() {
         for seed in [3u64, 12] {
             let g = generators::erdos_renyi(120, 900, seed);
             let expected = naive::count_triangles(&g);
-            let (got, _, stats) = run(&g, EmConfig::new(1 << 9, 32), seed);
-            assert_eq!(got, expected, "seed {seed}");
-            assert!(stats.subproblems > 1);
-            assert_eq!(stats.high_degree_truncations, 0);
+            for strategy in BOTH {
+                let (got, _, stats) = run_with(&g, EmConfig::new(1 << 9, 32), seed, strategy);
+                assert_eq!(got, expected, "seed {seed} ({strategy:?})");
+                assert!(stats.subproblems > 1);
+                assert_eq!(stats.high_degree_truncations, 0);
+            }
         }
     }
 
     #[test]
     fn counts_match_oracle_on_structured_graphs() {
-        let clique = generators::clique(20);
-        let (got, _, _) = run(&clique, EmConfig::new(256, 32), 1);
-        assert_eq!(got, 1140);
+        for strategy in BOTH {
+            let clique = generators::clique(20);
+            let (got, _, _) = run_with(&clique, EmConfig::new(256, 32), 1, strategy);
+            assert_eq!(got, 1140, "{strategy:?}");
 
-        let star = generators::star(200);
-        let (got, _, _) = run(&star, EmConfig::new(256, 32), 1);
-        assert_eq!(got, 0);
+            let star = generators::star(200);
+            let (got, _, _) = run_with(&star, EmConfig::new(256, 32), 1, strategy);
+            assert_eq!(got, 0, "{strategy:?}");
 
-        let lolli = generators::lollipop(10, 40);
-        let (got, _, _) = run(&lolli, EmConfig::new(256, 32), 2);
-        assert_eq!(got, 120);
+            let lolli = generators::lollipop(10, 40);
+            let (got, _, _) = run_with(&lolli, EmConfig::new(256, 32), 2, strategy);
+            assert_eq!(got, 120, "{strategy:?}");
+        }
     }
 
     #[test]
@@ -587,9 +995,65 @@ mod tests {
     #[test]
     fn recursion_depth_is_bounded_by_log4_e() {
         let g = generators::erdos_renyi(200, 1600, 3);
-        let (_, _, stats) = run(&g, EmConfig::new(512, 32), 11);
-        let limit = ((1600f64).ln() / 4f64.ln()).ceil() as usize;
-        assert!(stats.max_depth <= limit);
+        for strategy in BOTH {
+            let (_, _, stats) = run_with(&g, EmConfig::new(512, 32), 11, strategy);
+            let limit = ((1600f64).ln() / 4f64.ln()).ceil() as usize;
+            assert!(stats.max_depth <= limit, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn level_synchronous_sweeps_are_bounded_by_depth_not_node_count() {
+        let g = generators::erdos_renyi(150, 1200, 8);
+        let cfg = EmConfig::new(512, 32);
+        let (_, _, level) = run_with(&g, cfg, 5, RecursionStrategy::LevelSynchronous);
+        let (_, _, depth_first) = run_with(&g, cfg, 5, RecursionStrategy::DepthFirst);
+        assert!(
+            level.partition_sweeps as usize <= level.max_depth + 1,
+            "level-synchronous must sweep once per level at most ({} sweeps, depth {})",
+            level.partition_sweeps,
+            level.max_depth
+        );
+        assert!(
+            depth_first.partition_sweeps > 4 * level.partition_sweeps,
+            "the depth-first driver pays one sweep per internal node ({} vs {})",
+            depth_first.partition_sweeps,
+            level.partition_sweeps
+        );
+    }
+
+    #[test]
+    fn heavy_hitter_summary_is_exact_for_high_degree_detection() {
+        // A planted hub among noise: the summary must surface the hub, the
+        // verification scan must measure it exactly, and a hubless stream
+        // must prove emptiness without any candidates.
+        let machine = Machine::new(EmConfig::new(1 << 12, 64));
+        let mut edges: Vec<Edge> = Vec::new();
+        for i in 0..40u32 {
+            edges.push(Edge::new(1000, 2000 + i)); // hub of degree 40
+        }
+        for i in 0..160u32 {
+            edges.push(Edge::new(2 * i, 10_000 + i)); // 160 degree-1 pairs
+        }
+        edges.sort_unstable();
+        let e_here = edges.len(); // 200 edges; threshold deg >= 25
+        let v = ExtVec::from_slice(&machine, &edges);
+        let summary = HeavyHitters::of_stream(&machine, v.iter());
+        assert!(
+            summary.possible_high(e_here).contains(&1000),
+            "the hub must be tracked"
+        );
+        let (high, truncated) = resolve_high_degree(&machine, &summary, e_here, || v.iter());
+        assert_eq!(high, vec![1000]);
+        assert!(!truncated);
+
+        // Remove the hub: no candidate survives the error-adjusted bar, so
+        // the set resolves empty (and in the common case without any scan).
+        let quiet: Vec<Edge> = edges.iter().copied().filter(|e| e.u != 1000).collect();
+        let vq = ExtVec::from_slice(&machine, &quiet);
+        let sq = HeavyHitters::of_stream(&machine, vq.iter());
+        let (high, _) = resolve_high_degree(&machine, &sq, quiet.len(), || vq.iter());
+        assert!(high.is_empty());
     }
 
     #[test]
@@ -599,13 +1063,7 @@ mod tests {
         let g = generators::erdos_renyi(80, 400, 4);
         let machine = Machine::new(EmConfig::new(1 << 12, 64));
         let eg = ExtGraph::load(&machine, &g);
-
-        let mut arcs_raw: ExtVec<Arc> = ExtVec::new(&machine);
-        for e in eg.edges().iter() {
-            arcs_raw.push((e.u, e.v));
-            arcs_raw.push((e.v, e.u));
-        }
-        let arcs = emalgo::oblivious_sort_by_key(&arcs_raw, |a| *a);
+        let edges = emalgo::oblivious_sort_by_key(eg.edges(), |e| (e.u, e.v));
 
         let fam = BitFunctionFamily::new(1, 99);
         let mut coloring = RefinedColoring::identity();
@@ -616,9 +1074,8 @@ mod tests {
             .chain([(2, 1, 1), (2, 1, 2), (2, 2, 1), (2, 2, 2)])
             .collect();
         let coloring_ref = &coloring;
-        let buckets = scan_partition(&arcs, 8, |&(a, b): &Arc| {
-            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-            let (cu, cv) = (coloring_ref.color(lo), coloring_ref.color(hi));
+        let buckets = emalgo::scan_partition(&edges, 8, |e: &Edge| {
+            let (cu, cv) = (coloring_ref.color(e.u), coloring_ref.color(e.v));
             let mut mask = 0u32;
             for (i, &child) in children.iter().enumerate() {
                 if pair_compatible(cu, cv, child) {
@@ -628,13 +1085,11 @@ mod tests {
             mask
         });
         for (i, bucket) in buckets.iter().enumerate() {
-            let expected = emalgo::scan_filter(&arcs, |&(a, b)| {
-                let e = Edge::new(a, b);
-                compatible(&e, coloring_ref, children[i])
-            });
+            let expected =
+                emalgo::scan_filter(&edges, |e| compatible(e, coloring_ref, children[i]));
             assert_eq!(bucket.load_all(), expected.load_all(), "child {i}");
             // Sortedness is inherited by every bucket.
-            assert!(emalgo::is_sorted_by_key(bucket, |a| *a));
+            assert!(emalgo::is_sorted_by_key(bucket, |e| (e.u, e.v)));
         }
     }
 
@@ -643,10 +1098,12 @@ mod tests {
         // K16: E = 120, every vertex has degree 15 and 8·15 = 120 ≥ E, so all
         // 16 vertices are local high-degree — the maximum the invariant
         // allows. The run must stay exact without any truncation.
-        let g = generators::clique(16);
-        let (got, _, stats) = run(&g, EmConfig::new(256, 32), 5);
-        assert_eq!(got, 560); // C(16, 3)
-        assert_eq!(stats.high_degree_truncations, 0);
+        for strategy in BOTH {
+            let g = generators::clique(16);
+            let (got, _, stats) = run_with(&g, EmConfig::new(256, 32), 5, strategy);
+            assert_eq!(got, 560, "{strategy:?}"); // C(16, 3)
+            assert_eq!(stats.high_degree_truncations, 0, "{strategy:?}");
+        }
     }
 
     #[test]
@@ -673,12 +1130,17 @@ mod tests {
 
     #[test]
     fn bit_cache_lease_is_released_after_the_run() {
-        let g = generators::erdos_renyi(150, 1200, 2);
-        let machine = Machine::new(EmConfig::new(1 << 10, 32));
-        let eg = ExtGraph::load(&machine, &g);
-        let mut sink = StrictSink::new();
-        let _ = run_cache_oblivious(&eg, 3, &mut sink);
-        assert_eq!(machine.gauge().in_use(), 0);
-        assert!(machine.gauge().peak() > 0, "memoised bits were accounted");
+        for strategy in BOTH {
+            let g = generators::erdos_renyi(150, 1200, 2);
+            let machine = Machine::new(EmConfig::new(1 << 10, 32));
+            let eg = ExtGraph::load(&machine, &g);
+            let mut sink = StrictSink::new();
+            let _ = run_cache_oblivious(&eg, 3, strategy, &mut sink);
+            assert_eq!(machine.gauge().in_use(), 0, "{strategy:?}");
+            assert!(
+                machine.gauge().peak() > 0,
+                "memoised bits were accounted ({strategy:?})"
+            );
+        }
     }
 }

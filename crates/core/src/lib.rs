@@ -156,6 +156,31 @@ pub enum Step3Strategy {
     PerTripleReference,
 }
 
+/// Which order evaluates the cache-oblivious algorithm's colour-refinement
+/// tree. Both orders compute the identical tree and triangle multiset (the
+/// oracle suite pins them bit-identical).
+///
+/// Hidden from the public API: the production path is always
+/// [`RecursionStrategy::DepthFirst`] — depth-first order is what keeps
+/// below-memory subtrees cache-resident, which is where the algorithm's
+/// `√M` I/O saving comes from. The level-synchronous driver (one
+/// order-preserving partition sweep per tree depth) is retained as a
+/// measured alternative so its equivalence and O(depth)-sweeps guarantees
+/// stay executable; see `cache_oblivious.rs` for why measurement rejected
+/// it as the default.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecursionStrategy {
+    /// Per-node depth-first recursion (production): one partition sweep per
+    /// internal node, subtrees completed before their siblings start.
+    #[default]
+    DepthFirst,
+    /// Process the tree one depth at a time: a single order-preserving
+    /// partition sweep routes every live node to the next level (`O(depth)`
+    /// sweeps in total), with per-node metadata in thin disk streams.
+    LevelSynchronous,
+}
+
 /// All algorithms, in the order the experiment tables list them.
 pub const ALL_ALGORITHMS: [Algorithm; 6] = [
     Algorithm::CacheAwareRandomized { seed: 0xC0FFEE },
@@ -210,6 +235,23 @@ pub fn enumerate_triangles_with_step3(
     cfg: EmConfig,
     sink: &mut dyn TriangleSink,
     strategy: Step3Strategy,
+) -> RunReport {
+    enumerate_triangles_with_strategies(graph, algorithm, cfg, sink, strategy, Default::default())
+}
+
+/// [`enumerate_triangles`] with every strategy toggle explicit: the
+/// [`Step3Strategy`] of the cache-aware algorithms and the
+/// [`RecursionStrategy`] of the cache-oblivious one (each ignored by the
+/// algorithms it does not apply to). Hidden: only the equivalence
+/// test-suites select non-default strategies.
+#[doc(hidden)]
+pub fn enumerate_triangles_with_strategies(
+    graph: &Graph,
+    algorithm: Algorithm,
+    cfg: EmConfig,
+    sink: &mut dyn TriangleSink,
+    strategy: Step3Strategy,
+    recursion: RecursionStrategy,
 ) -> RunReport {
     let machine = Machine::new(cfg);
     let ext = ExtGraph::load(&machine, graph);
@@ -266,13 +308,15 @@ pub fn enumerate_triangles_with_step3(
                 out.triangles
             }
             Algorithm::CacheObliviousRandomized { seed } => {
-                let (n, stats) = cache_oblivious::run_cache_oblivious(&ext, seed, &mut translating);
+                let (n, stats) =
+                    cache_oblivious::run_cache_oblivious(&ext, seed, recursion, &mut translating);
                 extra.push(("subproblems".into(), stats.subproblems as f64));
                 extra.push(("max_recursion_depth".into(), stats.max_depth as f64));
                 extra.push((
                     "high_degree_truncations".into(),
                     stats.high_degree_truncations as f64,
                 ));
+                extra.push(("partition_sweeps".into(), stats.partition_sweeps as f64));
                 n
             }
             Algorithm::HuTaoChung => {

@@ -22,11 +22,17 @@
 //!   algorithms' step 3.
 //! * [`merge_sorted`], [`scan_filter`], [`is_sorted_by_key`], [`dedup_sorted`]
 //!   — scanning utilities with the obvious `O(n/B)` costs.
-//! * [`scan_partition`] — a **multi-way single-pass partition**: every
-//!   element is classified once and routed to any subset of up to
-//!   [`MAX_PARTITION_BUCKETS`] output buckets in one scan. This is the
-//!   primitive behind the cache-oblivious recursion's eight-child split
-//!   (one scan per level instead of eight filter passes).
+//! * [`scan_partition`] / [`PartitionWriter`] — a **multi-way single-pass
+//!   partition**: every element is classified once and routed to any subset
+//!   of up to [`MAX_PARTITION_BUCKETS`] output buckets in one scan. The
+//!   writer form keeps the buckets open across many sorted runs, which is how
+//!   the level-synchronous cache-oblivious recursion routes a whole tree
+//!   level (every live node's eight-child split) through one distribution
+//!   sweep.
+//! * [`kway_merge_tagged`] — the merge with **source tags**: each yielded
+//!   element names the cursor it came from, turning the merge into a
+//!   single-pass join driver over key-aligned files (the batched wedge-join
+//!   base case closes all leaves' wedges against all leaves' edges this way).
 //!
 //! All primitives operate on [`emsim::ExtVec`] arrays so that every block
 //! transfer is accounted for by the simulator.
@@ -39,9 +45,12 @@ mod oblivious;
 mod partition;
 mod sort;
 
-pub use merge::{dedup_sorted, is_sorted_by_key, kway_merge, merge_sorted, scan_filter, KWayMerge};
+pub use merge::{
+    dedup_sorted, is_sorted_by_key, kway_merge, kway_merge_tagged, merge_sorted, scan_filter,
+    KWayMerge, KWayMergeTagged,
+};
 pub use oblivious::oblivious_sort_by_key;
-pub use partition::{scan_partition, MAX_PARTITION_BUCKETS};
+pub use partition::{scan_partition, PartitionWriter, MAX_PARTITION_BUCKETS};
 pub use sort::{external_sort_by_key, external_sort_by_key_with_stats, SortStats};
 
 #[cfg(test)]

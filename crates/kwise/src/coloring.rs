@@ -136,6 +136,17 @@ impl RefinedColoring {
         self.levels.push(BitLevel::new(b, self.memoise));
     }
 
+    /// Appends a whole batch of refinement levels at once — how a
+    /// level-synchronous consumer installs its per-level bit schedule up
+    /// front (one shared bit function per tree depth) instead of
+    /// pushing/popping per node. Prefix queries then go through
+    /// [`RefinedColoring::color_at`].
+    pub fn push_batch(&mut self, bits: impl IntoIterator<Item = FourWise>) {
+        for b in bits {
+            self.push(b);
+        }
+    }
+
     /// Removes the most recent refinement level (used when backtracking out
     /// of a recursion level), discarding its memoised bits.
     pub fn pop(&mut self) {
@@ -158,6 +169,31 @@ impl RefinedColoring {
     /// colouring `ξ_0 ≡ 1`.
     pub fn color(&self, v: u32) -> u64 {
         self.color_of(1, v)
+    }
+
+    /// The colour of vertex `v` after only the first `depth ≤ depth()`
+    /// refinement levels, from the constant base colouring `ξ_0 ≡ 1`.
+    ///
+    /// This is the query shape of the level-synchronous recursion: all
+    /// `log₄ E` bit functions are installed once (see
+    /// [`RefinedColoring::push_batch`]) and every tree level `d` asks for the
+    /// depth-`d` prefix colour, so sibling subproblems share both the bit
+    /// functions and the per-level memo instead of re-pushing their own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` exceeds the number of stored levels.
+    pub fn color_at(&self, v: u32, depth: usize) -> u64 {
+        assert!(
+            depth <= self.levels.len(),
+            "prefix depth {depth} exceeds stored depth {}",
+            self.levels.len()
+        );
+        let mut c = 1u64;
+        for level in &self.levels[..depth] {
+            c = 2 * c - u64::from(level.bit(v));
+        }
+        c
     }
 
     /// The bit chosen for vertex `v` at refinement level `i` (0-based).
@@ -268,6 +304,42 @@ mod tests {
         assert_eq!(r.cached_bits(), 150, "50 vertices x 3 levels");
         r.pop();
         assert_eq!(r.cached_bits(), 100, "popping a level drops its memo");
+    }
+
+    #[test]
+    fn prefix_colors_agree_with_incremental_refinement() {
+        let fam = crate::BitFunctionFamily::new(4, 77);
+        let mut full = RefinedColoring::memoised();
+        full.push_batch((0..4).map(|i| fam.function(i)));
+        assert_eq!(full.depth(), 4);
+
+        let mut incremental = RefinedColoring::identity();
+        for depth in 0..=4usize {
+            for v in 0..64u32 {
+                assert_eq!(
+                    full.color_at(v, depth),
+                    incremental.color(v),
+                    "vertex {v} at depth {depth}"
+                );
+            }
+            if depth < 4 {
+                incremental.push(fam.function(depth));
+            }
+        }
+        // The full-depth prefix is the ordinary colour.
+        for v in 0..64u32 {
+            assert_eq!(full.color_at(v, 4), full.color(v));
+            assert_eq!(full.color_at(v, 0), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn prefix_depth_beyond_stored_levels_panics() {
+        let fam = crate::BitFunctionFamily::new(1, 3);
+        let mut r = RefinedColoring::identity();
+        r.push(fam.function(0));
+        let _ = r.color_at(0, 2);
     }
 
     #[test]

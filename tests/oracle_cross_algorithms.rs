@@ -1,16 +1,19 @@
 //! Cross-algorithm oracle matrix: the three paper algorithms against the
 //! in-memory oracle over randomly drawn graph *families* (Erdős–Rényi,
 //! power-law, lollipop), a deterministic adversarial corpus, a regression
-//! pin on the cache-oblivious recursion/work counters so the single-pass
-//! partitioning rewrite cannot silently regress, and an equivalence suite
-//! pinning the pivot-grouped step 3 of the cache-aware algorithms
-//! bit-identical to the per-triple reference loop it replaced.
+//! pin on the cache-oblivious recursion/work counters so the canonical-list
+//! rewrite cannot silently regress, an equivalence suite pinning the
+//! pivot-grouped step 3 of the cache-aware algorithms bit-identical to the
+//! per-triple reference loop it replaced, and an equivalence suite pinning
+//! the cache-oblivious depth-first and level-synchronous drivers to the
+//! identical recursion tree and triangle multiset.
 
 use emsim::EmConfig;
 use graphgen::{generators, naive, Graph, Triangle};
 use proptest::prelude::*;
 use trienum::{
-    count_triangles, enumerate_triangles_with_step3, Algorithm, CollectingSink, Step3Strategy,
+    count_triangles, enumerate_triangles_with_step3, enumerate_triangles_with_strategies,
+    Algorithm, CollectingSink, RecursionStrategy, Step3Strategy,
 };
 
 /// The three paper algorithms, parameterised by a shared seed.
@@ -91,6 +94,47 @@ proptest! {
                 prop_assert_eq!(n_grouped, n_reference, "count for {}", alg.name());
                 prop_assert_eq!(t_grouped, t_reference, "multiset for {}", alg.name());
             }
+        }
+    }
+
+    #[test]
+    fn depth_first_and_level_synchronous_recursions_are_bit_identical(
+        g in arb_family_graph(),
+        seed in 0u64..1000,
+    ) {
+        // Equivalence pin for the cache-oblivious tree-evaluation orders:
+        // across graph families, at a comfortable memory size and under
+        // memory pressure, the depth-first production driver and the
+        // level-synchronous driver must produce the same triangle multiset
+        // AND the same recursion tree (subproblem count, max depth,
+        // truncation count) — the per-level bit schedule makes the tree a
+        // function of the seed alone, so any divergence is a routing or
+        // base-case bug.
+        for cfg in [EmConfig::new(256, 32), EmConfig::new(128, 16)] {
+            let run = |recursion: RecursionStrategy| {
+                let mut sink = CollectingSink::new();
+                let report = enumerate_triangles_with_strategies(
+                    &g,
+                    Algorithm::CacheObliviousRandomized { seed },
+                    cfg,
+                    &mut sink,
+                    Step3Strategy::default(),
+                    recursion,
+                );
+                let mut ts = sink.into_triangles();
+                ts.sort_unstable();
+                let tree = (
+                    report.extra("subproblems"),
+                    report.extra("max_recursion_depth"),
+                    report.extra("high_degree_truncations"),
+                );
+                (report.triangles, ts, tree)
+            };
+            let (n_df, t_df, tree_df) = run(RecursionStrategy::DepthFirst);
+            let (n_ls, t_ls, tree_ls) = run(RecursionStrategy::LevelSynchronous);
+            prop_assert_eq!(n_df, n_ls, "triangle count");
+            prop_assert_eq!(t_df, t_ls, "triangle multiset");
+            prop_assert_eq!(tree_df, tree_ls, "recursion tree");
         }
     }
 
@@ -194,16 +238,17 @@ fn degenerate_graphs_run_clean_on_every_algorithm() {
     }
 }
 
-/// Regression pin for the tentpole rewrite: the cache-oblivious recursion on
-/// the E7-quick instance must not exceed its post-rewrite counters. The run
-/// is fully deterministic (seeded generator, seeded colouring), so tight
-/// ceilings are safe.
+/// Regression pin for the canonical-list rewrite (PR 5): the cache-oblivious
+/// recursion on the E7-quick instance must not exceed its post-rewrite
+/// counters. The run is fully deterministic (seeded generator, per-level
+/// seeded colouring), so tight ceilings are safe.
 ///
 /// Recorded 2026-07-30 on ER(500 vertices, 4000 edges, gen-seed 6) at
 /// `M = 4096, B = 64`, colouring seed `0xA11CE`:
-/// subproblems = 39 609, work/E^1.5 = 10.25, I/O = 5 381.
-/// (The pre-rewrite implementation: subproblems identical, work/E^1.5 ≈ 15.8
-/// at this size and ≈ 52.7 at E = 16000, I/O ≈ 2.4x higher.)
+/// subproblems = 39 465, work/E^1.5 = 6.10, I/O = 1 668,
+/// partition sweeps = 4 933 (depth-first).
+/// (The PR 2–4 incidence-list implementation: work/E^1.5 = 10.25,
+/// I/O = 5 381; the pre-PR 2 implementation ≈ 52.7× work at E = 16000.)
 #[test]
 fn cache_oblivious_counters_stay_within_post_rewrite_baseline() {
     let g = generators::erdos_renyi(500, 4_000, 6);
@@ -217,22 +262,63 @@ fn cache_oblivious_counters_stay_within_post_rewrite_baseline() {
 
     let subproblems = report.extra("subproblems").expect("subproblems reported");
     assert!(
-        subproblems <= 40_000.0,
-        "recursion tree grew: {subproblems} subproblems (baseline 39 609)"
+        subproblems <= 39_465.0,
+        "recursion tree grew: {subproblems} subproblems (baseline 39 465)"
     );
     assert!(
-        report.work_ratio() <= 11.5,
-        "work/E^1.5 = {:.2} exceeds the post-rewrite baseline 10.25 (+margin)",
+        report.work_ratio() <= 7.0,
+        "work/E^1.5 = {:.2} exceeds the post-rewrite baseline 6.10 (+margin)",
         report.work_ratio()
     );
     assert!(
-        (report.io.total() as f64) <= 1.25 * 5_381.0,
-        "I/O count {} regressed past the recorded 5 381 (+25%)",
+        (report.io.total() as f64) <= 1.25 * 1_668.0,
+        "I/O count {} regressed past the recorded 1 668 (+25%)",
         report.io.total()
+    );
+    assert!(
+        report.extra("partition_sweeps").expect("sweeps reported") <= 4_933.0,
+        "the depth-first driver routed more nodes than the recorded tree has"
     );
     assert_eq!(
         report.extra("high_degree_truncations"),
         Some(0.0),
         "the ≤16 high-degree invariant should never need enforcement on ER inputs"
+    );
+}
+
+/// Pass-count pin for the level-synchronous driver: one partition sweep per
+/// tree *level* (O(depth)), against the depth-first driver's one sweep per
+/// internal node (O(#nodes)) — on the same deterministic instance as the
+/// regression pin above, whose recorded tree has 4 933 internal routing
+/// nodes across max depth 6.
+#[test]
+fn level_synchronous_driver_sweeps_once_per_level_not_per_node() {
+    let g = generators::erdos_renyi(500, 4_000, 6);
+    let cfg = EmConfig::new(1 << 12, 64);
+    let run = |recursion: RecursionStrategy| {
+        let mut sink = CollectingSink::new();
+        let report = enumerate_triangles_with_strategies(
+            &g,
+            Algorithm::CacheObliviousRandomized { seed: 0xA11CE },
+            cfg,
+            &mut sink,
+            Step3Strategy::default(),
+            recursion,
+        );
+        (
+            report.extra("partition_sweeps").expect("sweeps reported"),
+            report.extra("max_recursion_depth").expect("depth reported"),
+        )
+    };
+    let (level_sweeps, depth) = run(RecursionStrategy::LevelSynchronous);
+    let (node_sweeps, _) = run(RecursionStrategy::DepthFirst);
+    assert!(
+        level_sweeps <= depth + 1.0,
+        "level-synchronous sweeps ({level_sweeps}) must be bounded by the tree depth ({depth})"
+    );
+    assert!(
+        node_sweeps >= 100.0 * level_sweeps,
+        "expected O(#nodes) sweeps depth-first vs O(depth) level-synchronous \
+         ({node_sweeps} vs {level_sweeps})"
     );
 }
