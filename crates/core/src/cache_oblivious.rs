@@ -196,8 +196,8 @@ impl HeavyHitters {
             .iter()
             .filter(|&&(_, n)| 8 * (n + self.decrements) >= e_here as u64)
             .map(|&(v, _)| v)
-            .collect();
-        out.sort_unstable();
+            .collect(); // emlint: allow(unleased, reason = "at most the summary's slot count of candidates, an O(1) fraction of the Self::WORDS already leased by build")
+        out.sort_unstable(); // emlint: allow(uncharged-std, reason = "O(1)-bounded candidate list; negligible next to the charged scan that fed the summary")
         out
     }
 }
@@ -363,6 +363,7 @@ fn proper_at(t: &Triangle, coloring: &RefinedColoring, depth: usize, target: Col
 /// smaller vertex id.
 fn keep_top_candidates(candidates: &mut Vec<(VertexId, usize)>) {
     if candidates.len() > MAX_LOCAL_HIGH_DEGREE {
+        // emlint: allow(uncharged-std, reason = "bounded candidate scratch; the sources cap its length at a small multiple of MAX_LOCAL_HIGH_DEGREE")
         candidates.sort_unstable_by_key(|&(v, d)| (std::cmp::Reverse(d), v));
         candidates.truncate(MAX_LOCAL_HIGH_DEGREE);
     }
@@ -378,8 +379,9 @@ fn keep_top_candidates(candidates: &mut Vec<(VertexId, usize)>) {
 fn select_local_high_degree(mut candidates: Vec<(VertexId, usize)>) -> (Vec<VertexId>, bool) {
     let truncated = candidates.len() > MAX_LOCAL_HIGH_DEGREE;
     keep_top_candidates(&mut candidates);
+    // emlint: allow(unleased, reason = "candidate list bounded by MAX_LOCAL_HIGH_DEGREE after truncation")
     let mut high: Vec<VertexId> = candidates.into_iter().map(|(v, _)| v).collect();
-    high.sort_unstable();
+    high.sort_unstable(); // emlint: allow(uncharged-std, reason = "O(1)-bounded candidate list")
     (high, truncated)
 }
 
@@ -592,7 +594,7 @@ fn close_oversized_leaves(ctx: &mut CoContext<'_>, machine: &Machine, coloring: 
     let mut last_edge: Option<(u32, u32, u32)> = None;
     for (tag, (l, v, w, u)) in kway_merge_tagged(
         machine,
-        vec![ctx.leaf_batch.edges.iter(), wedges_sorted.iter()],
+        vec![ctx.leaf_batch.edges.iter(), wedges_sorted.iter()], // emlint: allow(unleased, reason = "two cursor handles, not a data buffer; the streams themselves are charged by kway_merge_tagged")
         |&(l, v, w, _)| (l, v, w),
     ) {
         if tag == 0 {

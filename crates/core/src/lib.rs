@@ -262,6 +262,7 @@ pub fn enumerate_triangles_with_strategies(
     let before = machine.stats();
 
     let mut recorder = PhaseRecorder::new();
+    // emlint: allow(unleased, reason = "run-report bookkeeping outside the measured region, not algorithm memory")
     let mut extra: Vec<(String, f64)> = Vec::new();
     let triangles = {
         let mut translating = TranslatingSink {

@@ -38,6 +38,7 @@ impl ColorPartition {
         // empty edge set (every class empty) skips the searches entirely.
         let classes = (c * c) as usize;
         let n = sorted.len();
+        // emlint: allow(unleased, reason = "the c²+1 offset table is leased by the caller via index_words() — see cache_aware.rs _index_lease")
         let mut offsets = vec![0usize; classes + 1];
         offsets[classes] = n;
         if n > 0 {
@@ -103,14 +104,15 @@ impl ColorPartition {
     /// best-of-k random probes).
     pub(crate) fn union_sorted(&self, pairs: &[(u64, u64)]) -> ExtVec<Edge> {
         let machine = self.edges.machine().clone();
+        // emlint: allow(unleased, reason = "at most three colour pairs per step-3 triple; O(1) scratch")
         let mut distinct: Vec<(u64, u64)> = pairs.to_vec();
-        distinct.sort_unstable();
+        distinct.sort_unstable(); // emlint: allow(uncharged-std, reason = "sorts at most three colour pairs")
         distinct.dedup();
 
         let cursors = distinct
             .iter()
             .map(|&(a, b)| self.class_slice(a, b).iter())
-            .collect();
+            .collect(); // emlint: allow(unleased, reason = "O(1) cursor handles over zero-copy class views")
         let mut out: ExtVec<Edge> = ExtVec::new(&machine);
         out.extend(kway_merge(&machine, cursors, |e: &Edge| (e.u, e.v)));
         out

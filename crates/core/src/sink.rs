@@ -113,6 +113,7 @@ impl<F: FnMut(Triangle)> TriangleSink for FnSink<F> {
 /// suite to enforce the exactly-once contract.
 #[derive(Debug, Default)]
 pub struct StrictSink {
+    // emlint: allow(uncharged-std, reason = "verification sink enforcing the exactly-once contract for tests; never part of a measured run")
     seen: std::collections::HashSet<Triangle>,
 }
 
@@ -123,6 +124,7 @@ impl StrictSink {
     }
 
     /// The distinct triangles seen.
+    // emlint: allow(uncharged-std, reason = "accessor of the verification sink's set; test-only inspection")
     pub fn seen(&self) -> &std::collections::HashSet<Triangle> {
         &self.seen
     }

@@ -81,6 +81,7 @@ pub(crate) fn vertices_with_degree(
     degrees: &ExtVec<(u32, u32)>,
     mut pred: impl FnMut(u32) -> bool,
 ) -> Vec<VertexId> {
+    // emlint: allow(unleased, reason = "documented contract: the caller bounds the result (provably small high-degree sets) and leases it")
     let mut out = Vec::new();
     for (v, d) in degrees.iter() {
         if pred(d) {

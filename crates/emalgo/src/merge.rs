@@ -161,6 +161,7 @@ where
 {
     let machine = a.machine().clone();
     let mut out: ExtVec<T> = ExtVec::new(&machine);
+    // emlint: allow(unleased, reason = "two cursor handles, not a data buffer; the merge itself is charged by kway_merge")
     out.extend(kway_merge(&machine, vec![a.iter(), b.iter()], key));
     out
 }

@@ -1,0 +1,281 @@
+//! Brace/scope tracking over a blanked code view: function spans, test-only
+//! spans, and per-function lease detection.
+//!
+//! This is deliberately not a Rust parser. The build container has no
+//! registry access (so no `syn`); a token-level scanner with a brace stack is
+//! enough to answer the two questions the rules need: *which function does a
+//! byte offset belong to* and *is that offset inside test-only code*.
+
+use crate::source::SourceView;
+
+/// A half-open byte range of the cleaned text.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    /// Inclusive start offset.
+    pub start: usize,
+    /// Exclusive end offset.
+    pub end: usize,
+}
+
+impl Span {
+    fn contains(&self, pos: usize) -> bool {
+        self.start <= pos && pos < self.end
+    }
+}
+
+/// One `fn` item: its signature start, its body span, and whether the span
+/// mentions lease machinery.
+#[derive(Debug)]
+pub struct FnInfo {
+    /// Offset of the `fn` keyword.
+    pub sig_start: usize,
+    /// Body span including the braces (end fixed up to EOF for unclosed
+    /// bodies in malformed input).
+    pub body: Span,
+    /// Whether the signature or body mentions `.lease(`, `.lease_tagged(` or
+    /// `MemLease` — the scope-holds-a-lease heuristic of rules R1/R3.
+    pub holds_lease: bool,
+}
+
+/// Scope facts about one file.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Every `fn` item in source order.
+    pub fns: Vec<FnInfo>,
+    /// Spans of test-only items: `#[cfg(test)]`/`#[test]`-attributed items.
+    pub test_spans: Vec<Span>,
+}
+
+/// What a pushed `{` opens.
+#[derive(Debug, Clone, Copy)]
+enum BraceKind {
+    /// Body of `fns[idx]`.
+    Fn(usize),
+    /// Body of a test-attributed item; `test_spans[idx]`.
+    TestItem(usize),
+    /// Body of a test-attributed fn: both at once.
+    FnTest(usize, usize),
+    Plain,
+}
+
+impl Analysis {
+    /// Scans the cleaned text of `view`.
+    pub fn scan(view: &SourceView) -> Analysis {
+        let text = view.cleaned.as_bytes();
+        let mut fns: Vec<FnInfo> = Vec::new();
+        let mut test_spans: Vec<Span> = Vec::new();
+        let mut stack: Vec<BraceKind> = Vec::new();
+        let mut pending_fn: Option<usize> = None;
+        let mut pending_test: Option<usize> = None;
+        let mut paren_depth = 0usize;
+
+        let mut i = 0usize;
+        while i < text.len() {
+            match text[i] {
+                b'#' => {
+                    // Attribute: scan to the matching ], check for test
+                    // markers. Inner attributes (#![…]) never mark items.
+                    let inner = text.get(i + 1) == Some(&b'!');
+                    let open = i + 1 + usize::from(inner);
+                    if text.get(open) == Some(&b'[') {
+                        let (end, body) = bracket_span(text, open);
+                        if !inner && (body.contains("cfg(test") || attr_is_test(body)) {
+                            pending_test.get_or_insert(i);
+                        }
+                        i = end;
+                        continue;
+                    }
+                    i += 1;
+                }
+                b'(' => {
+                    paren_depth += 1;
+                    i += 1;
+                }
+                b')' => {
+                    paren_depth = paren_depth.saturating_sub(1);
+                    i += 1;
+                }
+                b'{' => {
+                    let fn_idx = if let (Some(sig_start), 0) = (pending_fn, paren_depth) {
+                        fns.push(FnInfo {
+                            sig_start,
+                            body: Span {
+                                start: i,
+                                end: text.len(),
+                            },
+                            holds_lease: false,
+                        });
+                        pending_fn = None;
+                        Some(fns.len() - 1)
+                    } else {
+                        None
+                    };
+                    let test_idx = pending_test.take().map(|attr_start| {
+                        test_spans.push(Span {
+                            start: attr_start,
+                            end: text.len(),
+                        });
+                        test_spans.len() - 1
+                    });
+                    stack.push(match (fn_idx, test_idx) {
+                        (Some(f), Some(t)) => BraceKind::FnTest(f, t),
+                        (Some(f), None) => BraceKind::Fn(f),
+                        (None, Some(t)) => BraceKind::TestItem(t),
+                        (None, None) => BraceKind::Plain,
+                    });
+                    i += 1;
+                }
+                b'}' => {
+                    match stack.pop() {
+                        Some(BraceKind::Fn(f)) => fns[f].body.end = i + 1,
+                        Some(BraceKind::TestItem(t)) => test_spans[t].end = i + 1,
+                        Some(BraceKind::FnTest(f, t)) => {
+                            fns[f].body.end = i + 1;
+                            test_spans[t].end = i + 1;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                b';' => {
+                    // `fn` declarations without bodies (traits) and
+                    // attribute-then-semicolon items give up their markers.
+                    if paren_depth == 0 {
+                        pending_fn = None;
+                        pending_test = None;
+                    }
+                    i += 1;
+                }
+                b'f' if is_keyword_at(text, i, b"fn") => {
+                    pending_fn = Some(i);
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+
+        for f in &mut fns {
+            let hay = &view.cleaned[f.sig_start..f.body.end.min(view.cleaned.len())];
+            f.holds_lease = hay.contains(".lease(")
+                || hay.contains(".lease_tagged(")
+                || hay.contains("MemLease");
+        }
+        Analysis { fns, test_spans }
+    }
+
+    /// The innermost `fn` whose signature+body contains `pos`.
+    pub fn enclosing_fn(&self, pos: usize) -> Option<&FnInfo> {
+        self.fns
+            .iter()
+            .filter(|f| f.sig_start <= pos && pos < f.body.end)
+            .min_by_key(|f| f.body.end - f.sig_start)
+    }
+
+    /// Whether `pos` lies inside test-only code.
+    pub fn in_test(&self, pos: usize) -> bool {
+        self.test_spans.iter().any(|s| s.contains(pos))
+    }
+}
+
+/// Whether the attribute body (text between `[` and `]`) marks a test fn:
+/// `test`, `tokio::test`, … — the first path segment chain ends in `test`.
+fn attr_is_test(body: &str) -> bool {
+    let head = body.split(['(', ',', '=']).next().unwrap_or("").trim();
+    head == "test" || head.ends_with("::test")
+}
+
+/// Returns the end offset of the `[...]` starting at `open` plus the inner
+/// text (nested brackets respected).
+fn bracket_span(text: &[u8], open: usize) -> (usize, &str) {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < text.len() {
+        match text[i] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    let inner = std::str::from_utf8(&text[open + 1..i]).unwrap_or("");
+                    return (i + 1, inner);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (text.len(), "")
+}
+
+/// Whether `kw` occurs at `pos` as a standalone word.
+fn is_keyword_at(text: &[u8], pos: usize, kw: &[u8]) -> bool {
+    if pos + kw.len() > text.len() || &text[pos..pos + kw.len()] != kw {
+        return false;
+    }
+    let before_ok = pos == 0 || !is_ident_byte(text[pos - 1]);
+    let after_ok = pos + kw.len() == text.len() || !is_ident_byte(text[pos + kw.len()]);
+    before_ok && after_ok
+}
+
+/// Whether `b` can appear in an identifier.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyse(src: &str) -> (SourceView, Analysis) {
+        let v = SourceView::parse(src);
+        let a = Analysis::scan(&v);
+        (v, a)
+    }
+
+    #[test]
+    fn functions_get_spans_and_lease_detection() {
+        let src = "fn leased(g: &MemGauge) {\n    let _l = g.lease(10);\n    let v = vec![1];\n}\nfn bare() {\n    let v = vec![2];\n}\n";
+        let (view, a) = analyse(src);
+        assert_eq!(a.fns.len(), 2);
+        assert!(a.fns[0].holds_lease);
+        assert!(!a.fns[1].holds_lease);
+        let pos = view.cleaned.find("vec![2]").unwrap();
+        assert!(!a.enclosing_fn(pos).unwrap().holds_lease);
+    }
+
+    #[test]
+    fn memlease_parameter_counts_as_leased_scope() {
+        let src = "fn helper(lease: &mut MemLease) {\n    let v = vec![1];\n}\n";
+        let (_, a) = analyse(src);
+        assert!(a.fns[0].holds_lease);
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_test_spans() {
+        let src = "fn prod() { let a = 1; }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let b = 2; }\n}\n";
+        let (view, a) = analyse(src);
+        let a_pos = view.cleaned.find("let a").unwrap();
+        let b_pos = view.cleaned.find("let b").unwrap();
+        assert!(!a.in_test(a_pos));
+        assert!(a.in_test(b_pos));
+    }
+
+    #[test]
+    fn nested_fns_attribute_to_the_innermost() {
+        let src =
+            "fn outer() {\n    let _l = m.gauge().lease(1);\n    fn inner() { let v = 1; }\n}\n";
+        let (view, a) = analyse(src);
+        let pos = view.cleaned.find("let v").unwrap();
+        let f = a.enclosing_fn(pos).unwrap();
+        assert!(!f.holds_lease, "inner fn must not inherit the outer lease");
+    }
+
+    #[test]
+    fn trait_method_declarations_do_not_leak_pending_fn() {
+        let src =
+            "trait T { fn a(&self); }\nstruct S;\nimpl T for S { fn a(&self) { let x = 1; } }\n";
+        let (view, a) = analyse(src);
+        assert_eq!(a.fns.len(), 1);
+        let pos = view.cleaned.find("let x").unwrap();
+        assert!(a.enclosing_fn(pos).is_some());
+    }
+}

@@ -1,0 +1,112 @@
+//! CLI: `cargo run -p emlint -- --workspace` (scoped by `emlint.toml`), or
+//! `cargo run -p emlint -- --rules R1,R4 path/to/file.rs …` for ad-hoc runs.
+//! Prints `file:line: R<k>(<slug>): message — hint` lines, sorted, and exits
+//! 1 when anything is found (2 on usage/config/io errors).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use emlint::{find_workspace_root, lint_file, lint_workspace, Config, Finding, Rule};
+
+const USAGE: &str = "\
+emlint — charge-soundness lints for the trienum workspace
+
+USAGE:
+    emlint --workspace                 lint every scope in emlint.toml
+                                       (found by ascending from the cwd)
+    emlint [--rules LIST] FILE...      lint specific files; LIST is a
+                                       comma-separated set of rule ids or
+                                       slugs (default: R1,R2,R3,R4)
+    emlint --help
+
+Rules: R1/unleased, R2/uncharged-std, R3/uncharged-probe, R4/hygiene.
+Waive a finding in source with:
+    // emlint: allow(<slug>, reason = \"…\")
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(findings) if findings.is_empty() => {
+            println!("emlint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!(
+                "emlint: {} finding{}",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("emlint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<Vec<Finding>, String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return Ok(Vec::new());
+    }
+
+    if args.iter().any(|a| a == "--workspace") {
+        if args.len() != 1 {
+            return Err("--workspace takes no other arguments".to_string());
+        }
+        let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+        let root = find_workspace_root(&cwd)
+            .ok_or_else(|| "no emlint.toml found above the current directory".to_string())?;
+        let text = std::fs::read_to_string(root.join("emlint.toml"))
+            .map_err(|e| format!("emlint.toml: {e}"))?;
+        let config = Config::parse(&text)?;
+        let mut findings = lint_workspace(&root, &config)?;
+        findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        return Ok(findings);
+    }
+
+    // Explicit-file mode.
+    let mut rules: Vec<Rule> = vec![Rule::R1, Rule::R2, Rule::R3, Rule::R4];
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--rules" {
+            let list = it
+                .next()
+                .ok_or_else(|| "--rules wants a comma-separated list".to_string())?;
+            rules = list
+                .split(',')
+                .map(|name| {
+                    Rule::parse(name.trim())
+                        .ok_or_else(|| format!("unknown rule `{}`", name.trim()))
+                })
+                .collect::<Result<_, _>>()?;
+        } else if let Some(list) = arg.strip_prefix("--rules=") {
+            rules = list
+                .split(',')
+                .map(|name| {
+                    Rule::parse(name.trim())
+                        .ok_or_else(|| format!("unknown rule `{}`", name.trim()))
+                })
+                .collect::<Result<_, _>>()?;
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag `{arg}` (see --help)"));
+        } else {
+            files.push(arg.clone());
+        }
+    }
+    if files.is_empty() {
+        return Err("no input files (see --help)".to_string());
+    }
+    let mut findings = Vec::new();
+    for file in &files {
+        findings.extend(lint_file(Path::new(""), file, &rules)?);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}

@@ -1,0 +1,177 @@
+//! `emlint.toml` reader — a minimal hand-rolled TOML subset (no registry
+//! access, so no `toml` crate). Exactly this shape is supported:
+//!
+//! ```toml
+//! # comments and blank lines
+//! [[scope]]
+//! path = "crates/core/src"
+//! rules = ["R1", "R2", "R3", "R4"]
+//! ```
+//!
+//! Rule names accept both ids (`"R1"`) and slugs (`"unleased"`). Paths are
+//! workspace-relative directory prefixes; a file is linted under the most
+//! specific (longest-path) scope that matches it, so bench/test/example trees
+//! simply get no scope and stay out of R1–R3.
+
+use crate::rules::Rule;
+
+/// One `[[scope]]` entry.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// Workspace-relative directory prefix, `/`-separated.
+    pub path: String,
+    /// Rules to run on files under `path`.
+    pub rules: Vec<Rule>,
+}
+
+/// Parsed `emlint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// All scopes in file order.
+    pub scopes: Vec<Scope>,
+}
+
+impl Config {
+    /// Parses the config text; errors carry 1-based line numbers.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut scopes: Vec<Scope> = Vec::new();
+        let mut in_scope = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let lno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[scope]]" {
+                scopes.push(Scope {
+                    path: String::new(),
+                    rules: Vec::new(),
+                });
+                in_scope = true;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "emlint.toml:{lno}: unsupported table `{line}` (only [[scope]] entries)"
+                ));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "emlint.toml:{lno}: expected `key = value`, got `{line}`"
+                ));
+            };
+            if !in_scope {
+                return Err(format!(
+                    "emlint.toml:{lno}: `{}` outside a [[scope]] entry",
+                    key.trim()
+                ));
+            }
+            let scope = scopes.last_mut().expect("in_scope implies a scope exists");
+            match key.trim() {
+                "path" => {
+                    scope.path = parse_string(value.trim())
+                        .ok_or_else(|| format!("emlint.toml:{lno}: `path` wants a quoted string"))?
+                        .trim_matches('/')
+                        .to_string();
+                }
+                "rules" => {
+                    scope.rules = parse_rule_array(value.trim())
+                        .map_err(|e| format!("emlint.toml:{lno}: {e}"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "emlint.toml:{lno}: unknown key `{other}` (expected path/rules)"
+                    ));
+                }
+            }
+        }
+        for (i, s) in scopes.iter().enumerate() {
+            if s.path.is_empty() {
+                return Err(format!("emlint.toml: scope #{} has no `path`", i + 1));
+            }
+            if s.rules.is_empty() {
+                return Err(format!("emlint.toml: scope `{}` has no `rules`", s.path));
+            }
+        }
+        Ok(Config { scopes })
+    }
+
+    /// The rules applying to a workspace-relative file path: those of the
+    /// longest-prefix matching scope, or none.
+    pub fn rules_for(&self, rel_path: &str) -> &[Rule] {
+        self.scopes
+            .iter()
+            .filter(|s| {
+                rel_path
+                    .strip_prefix(s.path.as_str())
+                    .is_some_and(|rest| rest.starts_with('/'))
+            })
+            .max_by_key(|s| s.path.len())
+            .map_or(&[], |s| s.rules.as_slice())
+    }
+}
+
+/// `"…"` → inner text.
+fn parse_string(v: &str) -> Option<&str> {
+    v.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// `["R1", "unleased", …]` → rules.
+fn parse_rule_array(v: &str) -> Result<Vec<Rule>, String> {
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| "`rules` wants an array of quoted rule names".to_string())?;
+    let mut rules = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let name = parse_string(item)
+            .ok_or_else(|| format!("rule entry `{item}` is not a quoted string"))?;
+        let rule = Rule::parse(name).ok_or_else(|| {
+            format!("unknown rule `{name}` (known: R1/unleased, R2/uncharged-std, R3/uncharged-probe, R4/hygiene)")
+        })?;
+        if !rules.contains(&rule) {
+            rules.push(rule);
+        }
+    }
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scopes_and_resolves_longest_prefix() {
+        let cfg = Config::parse(
+            "# rules\n[[scope]]\npath = \"crates/core/src\"\nrules = [\"R1\", \"R4\"]\n\n[[scope]]\npath = \"crates/core/src/baselines\"\nrules = [\"hygiene\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.scopes.len(), 2);
+        assert_eq!(
+            cfg.rules_for("crates/core/src/lemma2.rs"),
+            &[Rule::R1, Rule::R4]
+        );
+        assert_eq!(
+            cfg.rules_for("crates/core/src/baselines/nested_loop.rs"),
+            &[Rule::R4]
+        );
+        assert!(cfg.rules_for("crates/bench/src/lib.rs").is_empty());
+        // Prefixes match whole path components, not substrings.
+        assert!(cfg.rules_for("crates/core/srcx/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_configs_with_line_numbers() {
+        assert!(Config::parse("path = \"x\"\n").unwrap_err().contains(":1:"));
+        assert!(Config::parse("[[scope]]\npath = \"x\"\nrules = [\"R9\"]\n")
+            .unwrap_err()
+            .contains("unknown rule"));
+        assert!(Config::parse("[[scope]]\nrules = [\"R1\"]\n")
+            .unwrap_err()
+            .contains("no `path`"));
+    }
+}

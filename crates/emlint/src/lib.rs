@@ -1,0 +1,122 @@
+//! # emlint — charge-soundness lints for the trienum workspace
+//!
+//! The external-memory simulator ([`emsim`]) only keeps the paper's
+//! accounting honest if algorithm code actually routes its memory and work
+//! through the charged APIs: working buffers held under [`MemGauge`] leases,
+//! block transfers through `ExtVec`, sorts through `emalgo`. Nothing in the
+//! type system enforces that — a stray `Vec::with_capacity(n)` or
+//! `HashMap` compiles fine and silently under-reports M or the CPU side.
+//!
+//! `emlint` closes that gap statically. It is a dependency-free, token-level
+//! analyzer (no `syn`; see [`source`] and [`analysis`]) running four rules:
+//!
+//! | rule | slug | catches |
+//! |------|------|---------|
+//! | R1 | `unleased` | allocations outside a `MemLease`-holding scope |
+//! | R2 | `uncharged-std` | std hash/tree containers, `[T]::sort*` |
+//! | R3 | `uncharged-probe` | `ExtVec`/`ExtSlice` materialisation bypassing charged probes |
+//! | R4 | `hygiene` | `unsafe`, missing `#![forbid(unsafe_code)]`, waiver rot |
+//!
+//! Deliberate exceptions carry inline waivers that must name a reason and go
+//! stale loudly (see [`source::Waiver`]):
+//!
+//! ```text
+//! // emlint: allow(uncharged-std, reason = "in-core sort of a leased buffer; charged via machine.work")
+//! buf.sort_unstable();
+//! ```
+//!
+//! Scoping lives in `emlint.toml` at the workspace root ([`config`]): charged
+//! crates get R1–R4, `kwise` (no `emsim` dependency — its buffers are leased
+//! by callers) gets R2+R4, and bench/graphgen/test trees get nothing.
+//!
+//! The CLI (`cargo run -p emlint -- --workspace`) prints `file:line:
+//! R<k>(<slug>): message — hint` lines and exits nonzero on findings; CI runs
+//! it alongside the dynamic half of the story, `emsim`'s `gauge-audit`
+//! feature (live-lease registry, leak detection at gauge drop).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod config;
+pub mod rules;
+pub mod source;
+
+pub use config::{Config, Scope};
+pub use rules::{check_file, Finding, Rule};
+
+use std::path::{Path, PathBuf};
+
+/// Lints one on-disk file under `rules`, reporting paths as `rel_path`.
+pub fn lint_file(root: &Path, rel_path: &str, rules: &[Rule]) -> Result<Vec<Finding>, String> {
+    let text =
+        std::fs::read_to_string(root.join(rel_path)).map_err(|e| format!("{rel_path}: {e}"))?;
+    Ok(check_file(rel_path, &text, rules))
+}
+
+/// Lints every `.rs` file under the config's scopes, rooted at `root`
+/// (the directory containing `emlint.toml`). Deterministic order: files
+/// sorted by workspace-relative path.
+pub fn lint_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
+    let mut files: Vec<String> = Vec::new();
+    for scope in &config.scopes {
+        collect_rs_files(root, &scope.path, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+
+    let mut findings = Vec::new();
+    for rel in &files {
+        let rules = config.rules_for(rel);
+        if rules.is_empty() {
+            continue;
+        }
+        findings.extend(lint_file(root, rel, rules)?);
+    }
+    Ok(findings)
+}
+
+/// Recursively collects `.rs` files under `root/rel_dir` as
+/// workspace-relative `/`-separated paths.
+fn collect_rs_files(root: &Path, rel_dir: &str, out: &mut Vec<String>) -> Result<(), String> {
+    let dir = root.join(rel_dir);
+    let entries = std::fs::read_dir(&dir)
+        .map_err(|e| format!("{rel_dir}: {e} (check emlint.toml scope paths)"))?;
+    let mut names: Vec<(bool, String)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{rel_dir}: {e}"))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        let is_dir = entry
+            .file_type()
+            .map_err(|e| format!("{rel_dir}/{name}: {e}"))?
+            .is_dir();
+        names.push((is_dir, name.to_string()));
+    }
+    names.sort();
+    for (is_dir, name) in names {
+        let rel = format!("{rel_dir}/{name}");
+        if is_dir {
+            collect_rs_files(root, &rel, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Ascends from `start` looking for a directory containing `emlint.toml`;
+/// returns that directory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("emlint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The rule pack: R1–R4 over one file's code view.
+//!
+//! * **R1 `unleased`** — allocation sites (`with_capacity(`, `vec![`,
+//!   `.reserve(`, `.to_vec()`, `.collect(`/`.collect::<`, `Vec::new()`)
+//!   outside a scope that holds a [`MemLease`] (detected as `.lease(`,
+//!   `.lease_tagged(` or a `MemLease` mention in the enclosing `fn`).
+//! * **R2 `uncharged-std`** — std hashing/tree containers and in-place
+//!   `[T]::sort*` calls: their work is invisible to the machine's counters,
+//!   so charged paths must route through `emalgo::{external_sort_by_key,
+//!   kway_merge}` or explicitly `machine.work(…)`-charged leased structures.
+//!   Applies regardless of leases (a leased `HashMap` still hashes for free).
+//! * **R3 `uncharged-probe`** — materialising `ExtVec`/`ExtSlice` data into
+//!   core (`.load()`, `.load_all()`, `.load_range(`) outside a leased scope:
+//!   probing the resulting `Vec` bypasses the charged probe API
+//!   (`ExtSlice::get` / `partition_point`).
+//! * **R4 `hygiene`** — `unsafe` tokens, a missing `#![forbid(unsafe_code)]`
+//!   in crate roots, and waiver hygiene: waivers must parse, must name a
+//!   non-empty reason, must name a known rule, and must suppress something
+//!   (a stale waiver on a clean line is an error).
+//!
+//! `use` declaration lines are exempt from R1–R3 (importing a name is not
+//! using it; the usage sites are flagged instead). Test-only code
+//! (`#[cfg(test)]` / `#[test]` spans) is exempt from R1–R3 but not from R4.
+
+use crate::analysis::{is_ident_byte, Analysis};
+use crate::source::SourceView;
+
+/// The rule pack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No uncharged allocation in algorithm code.
+    R1,
+    /// No std hash/tree containers or std sorts in charged paths.
+    R2,
+    /// No gauge-bypassing materialisation of external data.
+    R3,
+    /// `forbid(unsafe_code)` + waiver hygiene.
+    R4,
+}
+
+impl Rule {
+    /// `"R1"` … `"R4"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R4 => "R4",
+        }
+    }
+
+    /// The slug used in waivers and finding headers.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::R1 => "unleased",
+            Rule::R2 => "uncharged-std",
+            Rule::R3 => "uncharged-probe",
+            Rule::R4 => "hygiene",
+        }
+    }
+
+    /// Parses `"R1"`/`"unleased"` style names.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "R1" | "unleased" => Some(Rule::R1),
+            "R2" | "uncharged-std" => Some(Rule::R2),
+            "R3" | "uncharged-probe" => Some(Rule::R3),
+            "R4" | "hygiene" => Some(Rule::R4),
+            _ => None,
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path as handed to the linter (workspace-relative in CLI use).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description with a fix hint.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}({}): {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.rule.slug(),
+            self.message
+        )
+    }
+}
+
+/// An allocation/usage pattern: the needle, whether it must start at an
+/// identifier boundary, whether it must end at one, and its display name.
+struct Pattern {
+    needle: &'static str,
+    bound_before: bool,
+    bound_after: bool,
+    display: &'static str,
+}
+
+const fn pat(
+    needle: &'static str,
+    bound_before: bool,
+    bound_after: bool,
+    display: &'static str,
+) -> Pattern {
+    Pattern {
+        needle,
+        bound_before,
+        bound_after,
+        display,
+    }
+}
+
+const R1_PATTERNS: &[Pattern] = &[
+    pat("with_capacity(", true, false, "`with_capacity`"),
+    pat("vec![", true, false, "`vec![]`"),
+    pat(".reserve(", false, false, "`reserve`"),
+    pat(".to_vec()", false, false, "`to_vec`"),
+    pat(".collect(", false, false, "`collect` into an owned buffer"),
+    pat(
+        ".collect::<",
+        false,
+        false,
+        "`collect` into an owned buffer",
+    ),
+    pat(
+        "Vec::new()",
+        true,
+        false,
+        "`Vec::new` (grows unleased via push)",
+    ),
+];
+
+const R2_PATTERNS: &[Pattern] = &[
+    pat("HashMap", true, true, "std `HashMap`"),
+    pat("HashSet", true, true, "std `HashSet`"),
+    pat("BTreeMap", true, true, "std `BTreeMap`"),
+    pat("BTreeSet", true, true, "std `BTreeSet`"),
+    pat("BinaryHeap", true, true, "std `BinaryHeap`"),
+    pat(".sort()", false, false, "std `sort`"),
+    pat(".sort_by(", false, false, "std `sort_by`"),
+    pat(".sort_by_key(", false, false, "std `sort_by_key`"),
+    pat(
+        ".sort_by_cached_key(",
+        false,
+        false,
+        "std `sort_by_cached_key`",
+    ),
+    pat(".sort_unstable()", false, false, "std `sort_unstable`"),
+    pat(".sort_unstable_by(", false, false, "std `sort_unstable_by`"),
+    pat(
+        ".sort_unstable_by_key(",
+        false,
+        false,
+        "std `sort_unstable_by_key`",
+    ),
+];
+
+const R3_PATTERNS: &[Pattern] = &[
+    pat(".load()", false, false, "`ExtSlice::load`"),
+    pat(".load_all()", false, false, "`ExtVec::load_all`"),
+    pat(".load_range(", false, false, "`ExtVec::load_range`"),
+];
+
+fn hint(rule: Rule) -> &'static str {
+    match rule {
+        Rule::R1 => {
+            "hold a MemLease in this scope (machine.gauge().lease/lease_tagged) or waive: \
+             // emlint: allow(unleased, reason = \"…\")"
+        }
+        Rule::R2 => {
+            "route through emalgo::{external_sort_by_key, kway_merge} or a leased, \
+             machine.work()-charged structure, or waive: \
+             // emlint: allow(uncharged-std, reason = \"…\")"
+        }
+        Rule::R3 => {
+            "probe through the charged API (ExtSlice::get/partition_point/iter), or lease \
+             the materialised buffer in this scope, or waive: \
+             // emlint: allow(uncharged-probe, reason = \"…\")"
+        }
+        Rule::R4 => "",
+    }
+}
+
+/// Whether the file is a crate root that must carry
+/// `#![forbid(unsafe_code)]` (R4): any file named `lib.rs` or `main.rs`.
+fn is_crate_root(file: &str) -> bool {
+    let name = file.rsplit(['/', '\\']).next().unwrap_or(file);
+    name == "lib.rs" || name == "main.rs"
+}
+
+/// Runs `rules` over one file and returns its findings, waivers applied.
+pub fn check_file(file: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
+    let view = SourceView::parse(text);
+    let analysis = Analysis::scan(&view);
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut waiver_used = vec![false; view.waivers.len()];
+
+    for &rule in rules {
+        let patterns: &[Pattern] = match rule {
+            Rule::R1 => R1_PATTERNS,
+            Rule::R2 => R2_PATTERNS,
+            Rule::R3 => R3_PATTERNS,
+            Rule::R4 => continue,
+        };
+        for p in patterns {
+            for pos in find_all(&view.cleaned, p) {
+                if analysis.in_test(pos) {
+                    continue;
+                }
+                let line = view.line_of(pos);
+                if view.cleaned_line(line).trim_start().starts_with("use ") {
+                    continue;
+                }
+                if matches!(rule, Rule::R1 | Rule::R3)
+                    && analysis.enclosing_fn(pos).is_some_and(|f| f.holds_lease)
+                {
+                    continue;
+                }
+                // Waivers: same rule, covering this line.
+                if let Some(w) = view.waivers.iter().position(|w| {
+                    !w.malformed
+                        && w.target_line == Some(line)
+                        && Rule::parse(&w.rule) == Some(rule)
+                }) {
+                    waiver_used[w] = true;
+                    continue;
+                }
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule,
+                    message: format!("{} outside a charged scope — {}", p.display, hint(rule)),
+                });
+            }
+        }
+    }
+
+    if rules.contains(&Rule::R4) {
+        // unsafe tokens (anywhere, tests included).
+        let unsafe_pat = pat("unsafe", true, true, "`unsafe`");
+        for pos in find_all(&view.cleaned, &unsafe_pat) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: view.line_of(pos),
+                rule: Rule::R4,
+                message: "`unsafe` in a charged crate — the accounting model cannot see \
+                          through unsafe code; remove it (crate roots carry \
+                          #![forbid(unsafe_code)])"
+                    .to_string(),
+            });
+        }
+        if is_crate_root(file) && !view.cleaned.contains("#![forbid(unsafe_code)]") {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: 1,
+                rule: Rule::R4,
+                message: "crate root lacks `#![forbid(unsafe_code)]` — add it below the \
+                          crate docs"
+                    .to_string(),
+            });
+        }
+        // Waiver hygiene.
+        for (w, used) in view.waivers.iter().zip(&waiver_used) {
+            let problem = if w.malformed {
+                Some(
+                    "malformed waiver — expected \
+                     // emlint: allow(<rule>, reason = \"…\")"
+                        .to_string(),
+                )
+            } else if Rule::parse(&w.rule).is_none() {
+                Some(format!(
+                    "waiver names unknown rule `{}` (known: unleased, uncharged-std, \
+                     uncharged-probe)",
+                    w.rule
+                ))
+            } else if w.reason.is_none() {
+                Some(format!(
+                    "waiver for `{}` must name a reason: \
+                     // emlint: allow({}, reason = \"…\")",
+                    w.rule, w.rule
+                ))
+            } else if !*used {
+                Some(format!(
+                    "stale waiver — line {} triggers no `{}` finding; delete the waiver",
+                    w.target_line.unwrap_or(w.comment_line),
+                    w.rule
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = problem {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: w.comment_line,
+                    rule: Rule::R4,
+                    message,
+                });
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// All byte offsets of `p` in `hay`, boundary conditions respected.
+fn find_all(hay: &str, p: &Pattern) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = hay.as_bytes();
+    let mut from = 0usize;
+    while let Some(rel) = hay[from..].find(p.needle) {
+        let pos = from + rel;
+        from = pos + 1;
+        if p.bound_before && pos > 0 && is_ident_byte(bytes[pos - 1]) {
+            continue;
+        }
+        let end = pos + p.needle.len();
+        if p.bound_after && end < bytes.len() && is_ident_byte(bytes[end]) {
+            continue;
+        }
+        out.push(pos);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: &[Rule] = &[Rule::R1, Rule::R2, Rule::R3, Rule::R4];
+
+    #[test]
+    fn unleased_alloc_is_flagged_and_leased_scope_is_not() {
+        let src = "fn bad() {\n    let v = Vec::with_capacity(8);\n}\nfn good(g: &MemGauge) {\n    let _l = g.lease(8);\n    let v = Vec::with_capacity(8);\n}\n";
+        let f = check_file("x.rs", src, ALL);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].rule), (2, Rule::R1));
+    }
+
+    #[test]
+    fn sorts_are_flagged_even_in_leased_scopes() {
+        let src = "fn f(g: &MemGauge) {\n    let _l = g.lease(8);\n    buf.sort_unstable();\n}\n";
+        let f = check_file("x.rs", src, ALL);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].rule), (3, Rule::R2));
+    }
+
+    #[test]
+    fn waiver_suppresses_and_stale_waiver_errors() {
+        let ok = "fn f() {\n    // emlint: allow(unleased, reason = \"caller charges it\")\n    let v = vec![1];\n}\n";
+        assert!(check_file("x.rs", ok, ALL).is_empty());
+        let stale = "fn f(g: &MemGauge) {\n    let _l = g.lease(1);\n    // emlint: allow(unleased, reason = \"obsolete\")\n    let v = vec![1];\n}\n";
+        let f = check_file("x.rs", stale, ALL);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::R4);
+        assert!(f[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn use_lines_and_test_code_are_exempt_from_r1_to_r3() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let m: HashMap<u32, u32> = HashMap::new();\n        let v = vec![1].to_vec();\n    }\n}\n";
+        assert!(check_file("x.rs", src, ALL).is_empty());
+    }
+
+    #[test]
+    fn crate_roots_need_forbid_unsafe() {
+        let f = check_file("src/lib.rs", "fn f() {}\n", &[Rule::R4]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("forbid(unsafe_code)"));
+        let ok = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        assert!(check_file("src/lib.rs", ok, &[Rule::R4]).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_and_strings_never_trigger() {
+        let src = "/// Uses a `HashMap` conceptually, and vec![] too.\nfn f() {\n    let s = \"don't .sort_unstable() me\";\n    drop(s);\n}\n";
+        assert!(check_file("x.rs", src, ALL).is_empty());
+    }
+}

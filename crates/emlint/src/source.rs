@@ -1,0 +1,438 @@
+//! The token-level *code view* of a Rust source file.
+//!
+//! [`SourceView::parse`] runs a small lexer over the raw text and produces a
+//! same-length copy in which every comment, string literal, char literal and
+//! non-ASCII character is blanked out (newlines preserved), so the rule
+//! engine can pattern-match code without tripping over `"sort_unstable"` in
+//! a doc comment. Waiver comments (`// emlint: allow(rule, reason = "…")`)
+//! are collected on the way, each resolved to the code line it covers.
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line of the comment itself.
+    pub comment_line: usize,
+    /// 1-based code line the waiver covers: the comment's own line if code
+    /// precedes the comment, otherwise the next line carrying code. `None`
+    /// when no such line exists (always stale).
+    pub target_line: Option<usize>,
+    /// The rule slug inside `allow(...)` (e.g. `unleased`).
+    pub rule: String,
+    /// The quoted `reason = "..."` text, if present and non-empty.
+    pub reason: Option<String>,
+    /// Set when the comment mentions `emlint:` but does not parse as
+    /// `allow(<slug>[, reason = "…"])`.
+    pub malformed: bool,
+}
+
+/// The blanked code view of one file plus its waivers.
+#[derive(Debug)]
+pub struct SourceView {
+    /// ASCII-only text, same line structure as the input, with comments,
+    /// string/char literal contents and non-ASCII characters blanked.
+    pub cleaned: String,
+    /// Byte offset of the start of each (0-based) line in `cleaned`.
+    pub line_starts: Vec<usize>,
+    /// Every `emlint:` waiver comment found.
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceView {
+    /// Lexes `text` into a code view.
+    pub fn parse(text: &str) -> SourceView {
+        let chars: Vec<char> = text.chars().collect();
+        let mut cleaned = String::with_capacity(chars.len());
+        // (line, comment text) of every line comment, captured for waivers.
+        let mut comments: Vec<(usize, String)> = Vec::new();
+        let mut line = 1usize;
+
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match c {
+                '\n' => {
+                    cleaned.push('\n');
+                    line += 1;
+                    i += 1;
+                }
+                '/' if next == Some('/') => {
+                    // Line comment: capture text, blank it.
+                    let start_line = line;
+                    let mut text = String::new();
+                    while i < chars.len() && chars[i] != '\n' {
+                        text.push(chars[i]);
+                        cleaned.push(' ');
+                        i += 1;
+                    }
+                    comments.push((start_line, text));
+                }
+                '/' if next == Some('*') => {
+                    // Block comment, possibly nested.
+                    let mut depth = 1u32;
+                    cleaned.push(' ');
+                    cleaned.push(' ');
+                    i += 2;
+                    while i < chars.len() && depth > 0 {
+                        if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                            depth += 1;
+                            cleaned.push(' ');
+                            cleaned.push(' ');
+                            i += 2;
+                        } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                            depth -= 1;
+                            cleaned.push(' ');
+                            cleaned.push(' ');
+                            i += 2;
+                        } else {
+                            if chars[i] == '\n' {
+                                cleaned.push('\n');
+                                line += 1;
+                            } else {
+                                cleaned.push(' ');
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                '"' => {
+                    i = Self::blank_string(&chars, i, &mut cleaned, &mut line);
+                }
+                'r' | 'b' if Self::starts_raw_or_byte_literal(&chars, i, &cleaned) => {
+                    i = Self::blank_prefixed_literal(&chars, i, &mut cleaned, &mut line);
+                }
+                '\'' => {
+                    i = Self::blank_char_or_lifetime(&chars, i, &mut cleaned);
+                }
+                c if c.is_ascii() => {
+                    cleaned.push(c);
+                    i += 1;
+                }
+                _ => {
+                    // Non-ASCII in code position (identifiers here are ASCII);
+                    // blank to a non-identifier placeholder so byte offsets
+                    // stay aligned with char offsets.
+                    cleaned.push('~');
+                    i += 1;
+                }
+            }
+        }
+
+        let line_starts = std::iter::once(0)
+            .chain(
+                cleaned
+                    .bytes()
+                    .enumerate()
+                    .filter(|(_, b)| *b == b'\n')
+                    .map(|(o, _)| o + 1),
+            )
+            .collect::<Vec<_>>();
+
+        let mut view = SourceView {
+            cleaned,
+            line_starts,
+            waivers: Vec::new(),
+        };
+        view.waivers = comments
+            .iter()
+            .filter(|(_, text)| text.contains("emlint:"))
+            .map(|(l, text)| view.parse_waiver(*l, text))
+            .collect();
+        view
+    }
+
+    /// 1-based line containing byte offset `pos` of `cleaned`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= pos)
+    }
+
+    /// The cleaned text of 1-based `line` (empty if out of range).
+    pub fn cleaned_line(&self, line: usize) -> &str {
+        let Some(&start) = self.line_starts.get(line - 1) else {
+            return "";
+        };
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.cleaned.len(), |&next| next - 1);
+        &self.cleaned[start..end]
+    }
+
+    fn parse_waiver(&self, comment_line: usize, text: &str) -> Waiver {
+        let mut w = Waiver {
+            comment_line,
+            target_line: self.waiver_target(comment_line),
+            rule: String::new(),
+            reason: None,
+            malformed: true,
+        };
+        let Some(after) = text.split("emlint:").nth(1) else {
+            return w;
+        };
+        let after = after.trim_start();
+        let Some(args) = after
+            .strip_prefix("allow(")
+            .and_then(|rest| rest.rfind(')').map(|end| &rest[..end]))
+        else {
+            return w;
+        };
+        let (slug, rest) = match args.split_once(',') {
+            Some((s, r)) => (s.trim(), r.trim()),
+            None => (args.trim(), ""),
+        };
+        if slug.is_empty() || !slug.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+            return w;
+        }
+        w.rule = slug.to_string();
+        if !rest.is_empty() {
+            let Some(quoted) = rest
+                .strip_prefix("reason")
+                .map(str::trim_start)
+                .and_then(|r| r.strip_prefix('='))
+                .map(str::trim_start)
+                .and_then(|r| r.strip_prefix('"'))
+                .and_then(|r| r.rfind('"').map(|end| &r[..end]))
+            else {
+                return w; // anything but a well-formed reason is malformed
+            };
+            if !quoted.trim().is_empty() {
+                w.reason = Some(quoted.trim().to_string());
+            }
+        }
+        w.malformed = false;
+        w
+    }
+
+    /// The code line a waiver comment on `comment_line` covers.
+    fn waiver_target(&self, comment_line: usize) -> Option<usize> {
+        // Trailing comment: code on the same line, before the comment.
+        if !self.cleaned_line(comment_line).trim().is_empty() {
+            return Some(comment_line);
+        }
+        // Own-line comment: the next line carrying code.
+        ((comment_line + 1)..=self.line_starts.len())
+            .find(|&l| !self.cleaned_line(l).trim().is_empty())
+    }
+
+    fn blank_string(chars: &[char], mut i: usize, cleaned: &mut String, line: &mut usize) -> usize {
+        cleaned.push(' '); // opening quote
+        i += 1;
+        while i < chars.len() {
+            match chars[i] {
+                '\\' => {
+                    cleaned.push(' ');
+                    if i + 1 < chars.len() {
+                        if chars[i + 1] == '\n' {
+                            cleaned.push('\n');
+                            *line += 1;
+                        } else {
+                            cleaned.push(' ');
+                        }
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    cleaned.push(' ');
+                    return i + 1;
+                }
+                '\n' => {
+                    cleaned.push('\n');
+                    *line += 1;
+                    i += 1;
+                }
+                _ => {
+                    cleaned.push(' ');
+                    i += 1;
+                }
+            }
+        }
+        i
+    }
+
+    /// Whether position `i` (an `r` or `b`) starts a raw/byte string or byte
+    /// char literal rather than an identifier like `radius` or `b1`.
+    fn starts_raw_or_byte_literal(chars: &[char], i: usize, cleaned: &str) -> bool {
+        if cleaned
+            .bytes()
+            .last()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            return false; // the r/b continues an identifier
+        }
+        let mut j = i + 1;
+        if chars[i] == 'b' && chars.get(j) == Some(&'r') {
+            j += 1;
+        }
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+        matches!(chars.get(j), Some('"')) || (chars[i] == 'b' && chars.get(i + 1) == Some(&'\''))
+    }
+
+    /// Blanks `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` or `b'…'` starting at `i`.
+    fn blank_prefixed_literal(
+        chars: &[char],
+        mut i: usize,
+        cleaned: &mut String,
+        line: &mut usize,
+    ) -> usize {
+        if chars[i] == 'b' && chars.get(i + 1) == Some(&'\'') {
+            cleaned.push(' ');
+            return Self::blank_char_or_lifetime(chars, i + 1, cleaned);
+        }
+        let mut hashes = 0usize;
+        let raw = {
+            let mut j = i;
+            cleaned.push(' ');
+            j += 1; // consume r or b
+            if chars.get(j) == Some(&'r') {
+                cleaned.push(' ');
+                j += 1;
+            }
+            while chars.get(j) == Some(&'#') {
+                cleaned.push(' ');
+                hashes += 1;
+                j += 1;
+            }
+            j
+        };
+        i = raw;
+        if chars.get(i) != Some(&'"') {
+            return i; // defensive: not actually a literal
+        }
+        if hashes == 0 && chars[i.saturating_sub(1)] != 'r' && chars[i - 1] != '#' {
+            // b"…" — ordinary escapes apply.
+            return Self::blank_string(chars, i, cleaned, line);
+        }
+        cleaned.push(' ');
+        i += 1;
+        while i < chars.len() {
+            if chars[i] == '"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if chars.get(i + 1 + k) != Some(&'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..=hashes {
+                        cleaned.push(' ');
+                    }
+                    return i + 1 + hashes;
+                }
+            }
+            if chars[i] == '\n' {
+                cleaned.push('\n');
+                *line += 1;
+            } else {
+                cleaned.push(' ');
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Blanks a char literal starting at the `'` at `i`, or passes a lifetime
+    /// through untouched.
+    fn blank_char_or_lifetime(chars: &[char], i: usize, cleaned: &mut String) -> usize {
+        let is_char_literal = match chars.get(i + 1) {
+            Some('\\') => true,
+            Some(_) => chars.get(i + 2) == Some(&'\''),
+            None => false,
+        };
+        if !is_char_literal {
+            cleaned.push('\''); // lifetime: keep, it breaks no patterns
+            return i + 1;
+        }
+        cleaned.push(' ');
+        let mut j = i + 1;
+        while j < chars.len() {
+            match chars[j] {
+                '\\' => {
+                    cleaned.push(' ');
+                    if j + 1 < chars.len() {
+                        cleaned.push(' ');
+                    }
+                    j += 2;
+                }
+                '\'' => {
+                    cleaned.push(' ');
+                    return j + 1;
+                }
+                _ => {
+                    cleaned.push(' ');
+                    j += 1;
+                }
+            }
+        }
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let v = SourceView::parse("let x = \"sort_unstable\"; // HashMap\nlet y = 1;\n");
+        assert!(!v.cleaned.contains("sort_unstable"));
+        assert!(!v.cleaned.contains("HashMap"));
+        assert!(v.cleaned.contains("let x ="));
+        assert!(v.cleaned.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n\"two\nlines\"\n/* block\ncomment */\nb\n";
+        let v = SourceView::parse(src);
+        assert_eq!(
+            v.cleaned.matches('\n').count(),
+            src.matches('\n').count(),
+            "newline count must survive blanking"
+        );
+        assert_eq!(v.line_of(v.cleaned.find('b').unwrap()), 6);
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked_lifetimes_kept() {
+        let v = SourceView::parse("let s = r#\"vec![]\"#; let c = 'v'; fn f<'a>(x: &'a u32) {}");
+        assert!(!v.cleaned.contains("vec!["));
+        assert!(!v.cleaned.contains("'v'"));
+        assert!(v.cleaned.contains("<'a>"));
+        assert!(v.cleaned.contains("&'a u32"));
+    }
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let src = "let v = vec![1]; // emlint: allow(unleased, reason = \"test scratch\")\n";
+        let v = SourceView::parse(src);
+        assert_eq!(v.waivers.len(), 1);
+        let w = &v.waivers[0];
+        assert_eq!(w.target_line, Some(1));
+        assert_eq!(w.rule, "unleased");
+        assert_eq!(w.reason.as_deref(), Some("test scratch"));
+        assert!(!w.malformed);
+    }
+
+    #[test]
+    fn own_line_waiver_targets_next_code_line() {
+        let src = "// emlint: allow(uncharged-std, reason = \"why\")\n\nlet m = HashMap::new();\n";
+        let v = SourceView::parse(src);
+        assert_eq!(v.waivers[0].target_line, Some(3));
+    }
+
+    #[test]
+    fn missing_reason_and_malformed_waivers_are_recognised() {
+        let v = SourceView::parse("// emlint: allow(unleased)\nlet x = 1;\n");
+        assert!(!v.waivers[0].malformed);
+        assert!(v.waivers[0].reason.is_none());
+        let v = SourceView::parse("// emlint: allow(unleased, reason = \"\")\nlet x = 1;\n");
+        assert!(v.waivers[0].reason.is_none());
+        let v = SourceView::parse("// emlint: disallow everything\nlet x = 1;\n");
+        assert!(v.waivers[0].malformed);
+    }
+}

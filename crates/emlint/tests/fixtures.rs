@@ -1,0 +1,119 @@
+//! Fixture-based end-to-end tests: each rule is exercised against a small
+//! on-disk Rust file under `tests/fixtures/` and must report exactly the
+//! expected `file:line` pairs — no more, no fewer. The fixtures are data,
+//! not code: cargo never compiles them (only top-level files in `tests/`
+//! become test targets), so they can reference emsim types freely.
+
+use std::path::Path;
+
+use emlint::{check_file, lint_workspace, Config, Rule};
+
+const ALL: &[Rule] = &[Rule::R1, Rule::R2, Rule::R3, Rule::R4];
+
+fn fixture_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures"))
+}
+
+/// Lints one fixture and projects findings to `(line, rule id)`.
+fn check(rel: &str) -> Vec<(usize, &'static str)> {
+    let text = std::fs::read_to_string(fixture_root().join(rel)).unwrap();
+    check_file(rel, &text, ALL)
+        .into_iter()
+        .map(|f| (f.line, f.rule.id()))
+        .collect()
+}
+
+#[test]
+fn r1_unleased_fixture_reports_exact_lines() {
+    assert_eq!(
+        check("violations/unleased.rs"),
+        vec![(4, "R1"), (5, "R1"), (10, "R1")]
+    );
+}
+
+#[test]
+fn r2_uncharged_std_fixture_reports_exact_lines() {
+    // Line 7 declares and constructs a HashMap — two pattern hits, one line.
+    assert_eq!(
+        check("violations/uncharged_std.rs"),
+        vec![(7, "R2"), (7, "R2"), (15, "R2")]
+    );
+}
+
+#[test]
+fn r3_uncharged_probe_fixture_reports_exact_lines() {
+    // The leased_slurp load on line 13 is exempt.
+    assert_eq!(
+        check("violations/uncharged_probe.rs"),
+        vec![(4, "R3"), (8, "R3")]
+    );
+}
+
+#[test]
+fn r4_hygiene_fixture_reports_unsafe_and_waiver_rot() {
+    let text = std::fs::read_to_string(fixture_root().join("violations/hygiene.rs")).unwrap();
+    let findings = check_file("violations/hygiene.rs", &text, ALL);
+    let lines: Vec<(usize, &str)> = findings.iter().map(|f| (f.line, f.rule.id())).collect();
+    assert_eq!(lines, vec![(4, "R4"), (8, "R4"), (12, "R4"), (15, "R4")]);
+    assert!(findings[0].message.contains("unsafe"));
+    assert!(findings[1].message.contains("reason"));
+    assert!(findings[2].message.contains("unknown rule"));
+    assert!(findings[3].message.contains("malformed"));
+    // The reasonless waiver on line 8 still suppresses the R1 on line 9 —
+    // the rot is reported without double-reporting the allocation.
+    assert!(!lines.contains(&(9, "R1")));
+}
+
+#[test]
+fn stale_waiver_fixture_is_an_error() {
+    let text = std::fs::read_to_string(fixture_root().join("violations/stale_waiver.rs")).unwrap();
+    let findings = check_file("violations/stale_waiver.rs", &text, ALL);
+    assert_eq!(findings.len(), 1);
+    assert_eq!((findings[0].line, findings[0].rule), (3, Rule::R4));
+    assert!(findings[0].message.contains("stale"));
+}
+
+#[test]
+fn clean_fixtures_produce_no_findings() {
+    assert_eq!(check("clean/leased.rs"), vec![]);
+    assert_eq!(check("clean/lib.rs"), vec![]);
+}
+
+#[test]
+fn findings_render_as_file_line_rule_slug() {
+    let text = std::fs::read_to_string(fixture_root().join("violations/unleased.rs")).unwrap();
+    let findings = check_file("violations/unleased.rs", &text, ALL);
+    let rendered = findings[0].to_string();
+    assert!(
+        rendered.starts_with("violations/unleased.rs:4: R1(unleased): "),
+        "unexpected rendering: {rendered}"
+    );
+    assert!(
+        rendered.contains("emlint: allow(unleased"),
+        "must carry a fix hint"
+    );
+}
+
+#[test]
+fn workspace_walk_honours_scopes_and_is_deterministic() {
+    let config = Config::parse(
+        "[[scope]]\npath = \"violations\"\nrules = [\"R1\", \"R2\", \"R3\", \"R4\"]\n\n[[scope]]\npath = \"clean\"\nrules = [\"R1\", \"R2\", \"R3\", \"R4\"]\n",
+    )
+    .unwrap();
+    let findings = lint_workspace(fixture_root(), &config).unwrap();
+    // 3 (unleased) + 3 (uncharged_std) + 2 (uncharged_probe) + 4 (hygiene)
+    // + 1 (stale_waiver), none from clean/.
+    assert_eq!(findings.len(), 13);
+    assert!(findings.iter().all(|f| f.file.starts_with("violations/")));
+    let again = lint_workspace(fixture_root(), &config).unwrap();
+    let key = |fs: &[emlint::Finding]| {
+        fs.iter()
+            .map(|f| (f.file.clone(), f.line))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        key(&findings),
+        key(&again),
+        "walk order must be deterministic"
+    );
+}

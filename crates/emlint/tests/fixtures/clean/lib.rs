@@ -1,0 +1,4 @@
+//! Clean crate-root fixture: carries the forbid attribute R4 requires.
+#![forbid(unsafe_code)]
+
+pub fn nothing() {}

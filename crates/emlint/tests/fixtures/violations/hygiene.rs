@@ -1,0 +1,16 @@
+// R4 fixture: unsafe tokens and waiver rot.
+
+pub fn peek(xs: &[u64]) -> u64 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn no_reason() -> Vec<u64> {
+    // emlint: allow(unleased)
+    Vec::with_capacity(4)
+}
+
+// emlint: allow(not-a-rule, reason = "unknown slug")
+pub fn unknown() {}
+
+// emlint: something else entirely
+pub fn malformed() {}

@@ -1,0 +1,14 @@
+// R3 fixture: materialising external data without a lease.
+
+pub fn slurp(ev: &ExtVec<u64>) -> Vec<u64> {
+    ev.load_all()
+}
+
+pub fn window(ev: &ExtVec<u64>) -> Vec<u64> {
+    ev.load_range(0, 8)
+}
+
+pub fn leased_slurp(ev: &ExtVec<u64>, gauge: &MemGauge) -> Vec<u64> {
+    let _lease = gauge.lease(ev.len() as u64);
+    ev.load_all()
+}

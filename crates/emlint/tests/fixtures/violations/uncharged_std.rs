@@ -1,0 +1,16 @@
+// R2 fixture: std containers and sorts stay uncharged even under a lease.
+
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32], gauge: &MemGauge) -> usize {
+    let _lease = gauge.lease(xs.len() as u64);
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.len()
+}
+
+pub fn order(xs: &mut [u32]) {
+    xs.sort_unstable();
+}

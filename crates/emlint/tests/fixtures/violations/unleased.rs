@@ -1,0 +1,11 @@
+// R1 fixture: allocations outside any lease-holding scope.
+
+pub fn build_index(n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    out.extend(vec![1, 2, 3]);
+    out
+}
+
+pub fn copy_all(xs: &[u64]) -> Vec<u64> {
+    xs.to_vec()
+}

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 pub(crate) type BlockKey = u64;
 
 pub(crate) fn block_key(segment: u32, block: u64) -> BlockKey {
-    ((segment as u64) << 40) | block
+    (u64::from(segment) << 40) | block
 }
 
 const NIL: u32 = u32::MAX;
@@ -135,7 +135,7 @@ impl LruCache {
                 prev: NIL,
                 next: NIL,
             });
-            (self.nodes.len() - 1) as u32
+            u32::try_from(self.nodes.len() - 1).expect("frame count exceeds u32")
         };
         self.map.insert(key, idx);
         self.push_front(idx);

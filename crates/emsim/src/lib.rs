@@ -48,6 +48,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The simulator is the accounting ground truth for every experiment, so its
+// arithmetic must not silently truncate, wrap or lose precision: CI runs
+// clippy with -D warnings, which turns these pedantic cast lints into errors.
+#![warn(
+    clippy::cast_lossless,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_precision_loss,
+    clippy::cast_sign_loss,
+    clippy::checked_conversions
+)]
 
 mod cache;
 mod config;

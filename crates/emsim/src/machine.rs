@@ -135,7 +135,7 @@ impl Machine {
                 words: Vec::new(),
                 live: true,
             });
-            (inner.segments.len() - 1) as u32
+            u32::try_from(inner.segments.len() - 1).expect("segment count exceeds u32")
         }
     }
 
@@ -188,7 +188,8 @@ impl Machine {
         // into the middle of an uncached block does (read-modify-write).
         if touch.miss {
             let segment = &inner.segments[seg as usize];
-            let block_start = (block as usize) * inner.config.block_words;
+            let block_start = usize::try_from(block).expect("block index exceeds usize")
+                * inner.config.block_words;
             let fresh_append = idx == segment.words.len() && idx == block_start;
             if !fresh_append {
                 inner.io.reads += 1;

@@ -6,6 +6,16 @@
 //! exactly that: a record knows how many words it occupies and how to encode
 //! itself into / decode itself from `u64` words on the simulated disk.
 
+// Every truncating or sign-changing cast in the `decode` impls below is the
+// exact inverse of the corresponding `encode` packing (masked or shifted
+// sub-words of values that were themselves encoded from the target type), so
+// the crate's pedantic cast lints are relaxed for this codec module only.
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss
+)]
+
 /// A fixed-width element that can be stored in an [`crate::ExtVec`].
 pub trait Record: Copy {
     /// Number of machine words this record occupies on disk.
@@ -34,7 +44,7 @@ impl Record for u32 {
     const WORDS: usize = 1;
 
     fn encode(&self, out: &mut [u64]) {
-        out[0] = *self as u64;
+        out[0] = u64::from(*self);
     }
 
     fn decode(words: &[u64]) -> Self {
@@ -60,7 +70,7 @@ impl Record for (u32, u32) {
     const WORDS: usize = 1;
 
     fn encode(&self, out: &mut [u64]) {
-        out[0] = ((self.0 as u64) << 32) | self.1 as u64;
+        out[0] = (u64::from(self.0) << 32) | u64::from(self.1);
     }
 
     fn decode(words: &[u64]) -> Self {
@@ -92,8 +102,8 @@ impl Record for (u32, u32, u32) {
     const WORDS: usize = 2;
 
     fn encode(&self, out: &mut [u64]) {
-        out[0] = ((self.0 as u64) << 32) | self.1 as u64;
-        out[1] = self.2 as u64;
+        out[0] = (u64::from(self.0) << 32) | u64::from(self.1);
+        out[1] = u64::from(self.2);
     }
 
     fn decode(words: &[u64]) -> Self {
@@ -114,8 +124,8 @@ impl Record for (u32, u32, u32, u32) {
     const WORDS: usize = 2;
 
     fn encode(&self, out: &mut [u64]) {
-        out[0] = ((self.0 as u64) << 32) | self.1 as u64;
-        out[1] = ((self.2 as u64) << 32) | self.3 as u64;
+        out[0] = (u64::from(self.0) << 32) | u64::from(self.1);
+        out[1] = (u64::from(self.2) << 32) | u64::from(self.3);
     }
 
     fn decode(words: &[u64]) -> Self {

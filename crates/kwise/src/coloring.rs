@@ -73,6 +73,7 @@ const BIT_CACHE_LIMIT: usize = 1 << 17;
 #[derive(Debug, Clone)]
 struct BitLevel {
     f: FourWise,
+    // emlint: allow(uncharged-std, reason = "opt-in evaluation memo, bounded by BIT_CACHE_LIMIT and leased by the cache-aware caller; correctness never depends on it")
     memo: Option<RefCell<HashMap<u32, bool>>>,
 }
 
@@ -80,7 +81,7 @@ impl BitLevel {
     fn new(f: FourWise, memoise: bool) -> Self {
         Self {
             f,
-            memo: memoise.then(|| RefCell::new(HashMap::new())),
+            memo: memoise.then(|| RefCell::new(HashMap::new())), // emlint: allow(uncharged-std, reason = "see the BitLevel::memo waiver — bounded, opt-in, caller-leased")
         }
     }
 
