@@ -38,11 +38,12 @@ fn main() {
         experiment: &str,
         title: &str,
         rows: &[Row],
+        phase_peaks: &[PhasePeakRow],
         gates: &[GateOutcome],
         failures: &mut Vec<String>,
     ) {
         if let Some(dir) = json_dir {
-            match write_experiment_record(dir, experiment, title, rows, gates) {
+            match write_experiment_record(dir, experiment, title, rows, phase_peaks, gates) {
                 Ok(path) => println!("wrote {}", path.display()),
                 // Collected, not fatal: the remaining experiments (and their
                 // gate verdicts) must still run and be reported.
@@ -66,7 +67,7 @@ fn main() {
         let rows = experiment_e1(sizes, true);
         let title = "E1: I/O scaling in E (ER graphs, M=4096, B=64)";
         println!("{}", render_table(title, &rows));
-        write_record(&json_dir, "e1", title, &rows, &[], &mut failures);
+        write_record(&json_dir, "e1", title, &rows, &[], &[], &mut failures);
     }
     if want("e2") {
         // Quick mode includes E/M = 8 so the crossover gate (which starts
@@ -76,20 +77,29 @@ fn main() {
         } else {
             &[4, 8, 16, 32, 64]
         };
-        let rows = experiment_e2(ratios);
+        let (rows, peaks) = experiment_e2(ratios);
         let title = "E2: measured vs predicted improvement over Hu-Tao-Chung (M=512, B=32)";
         println!("{}", render_table(title, &rows));
+        println!(
+            "{}",
+            render_phase_peaks("E2: per-phase gauge peaks", &peaks)
+        );
         // I/O-budget gate (wired into CI through the --quick smoke run and
         // the full-size --exp e2 step): fail loudly if the cache-aware path
         // regresses toward its old per-triple step-3 constant or loses the
         // crossover against Hu-Tao-Chung.
         let verdict = check_e2_io_budget(&rows);
+        let peak_verdict = check_phase_peak_budgets(&peaks);
         write_record(
             &json_dir,
             "e2",
             title,
             &rows,
-            &[GateOutcome::of("CACHE_AWARE_IO_CEILING", &verdict)],
+            &peaks,
+            &[
+                GateOutcome::of("CACHE_AWARE_IO_CEILING", &verdict),
+                GateOutcome::of("PHASE_PEAK_BUDGET", &peak_verdict),
+            ],
             &mut failures,
         );
         match verdict {
@@ -99,6 +109,10 @@ fn main() {
                  {CACHE_AWARE_CROSSOVER_FROM}"
             ),
             Err(msg) => failures.push(format!("E2 io-budget gate: {msg}")),
+        }
+        match peak_verdict {
+            Ok(()) => println!("phase-peak gate: every cache-aware phase within 2M words"),
+            Err(msg) => failures.push(format!("E2 phase-peak gate: {msg}")),
         }
     }
     if want("e3") {
@@ -116,19 +130,28 @@ fn main() {
             ]
         };
         let e = if quick { 4_000 } else { 12_000 };
-        let rows = experiment_e3(e, configs);
+        let (rows, peaks) = experiment_e3(e, configs);
         let title = format!("E3: cache-obliviousness — one binary, E={e}, varying (M, B)");
         println!("{}", render_table(&title, &rows));
+        println!(
+            "{}",
+            render_phase_peaks("E3: per-phase gauge peaks", &peaks)
+        );
         // I/O-budget gate (wired into CI through the --quick smoke run and
         // the full-size --exp e3 step): fail loudly if the cache-oblivious
         // path regresses toward its pre-rewrite normalised-I/O band.
         let verdict = check_e3_io_budget(&rows);
+        let peak_verdict = check_phase_peak_budgets(&peaks);
         write_record(
             &json_dir,
             "e3",
             &title,
             &rows,
-            &[GateOutcome::of("CACHE_OBLIVIOUS_IO_CEILING", &verdict)],
+            &peaks,
+            &[
+                GateOutcome::of("CACHE_OBLIVIOUS_IO_CEILING", &verdict),
+                GateOutcome::of("PHASE_PEAK_BUDGET", &peak_verdict),
+            ],
             &mut failures,
         );
         match verdict {
@@ -138,43 +161,59 @@ fn main() {
             ),
             Err(msg) => failures.push(format!("E3 io-budget gate: {msg}")),
         }
+        match peak_verdict {
+            Ok(()) => println!(
+                "phase-peak gate: every cache-oblivious phase within \
+                 {CACHE_OBLIVIOUS_PHASE_PEAK_PER_EDGE} words/edge"
+            ),
+            Err(msg) => failures.push(format!("E3 phase-peak gate: {msg}")),
+        }
     }
     if want("e4") {
         let sizes: &[usize] = if quick { &[40, 60] } else { &[40, 60, 80, 100] };
         let rows = experiment_e4(sizes);
         let title = "E4: optimality vs the Theorem 3 lower bound (cliques, M=512, B=32)";
         println!("{}", render_table(title, &rows));
-        write_record(&json_dir, "e4", title, &rows, &[], &mut failures);
+        write_record(&json_dir, "e4", title, &rows, &[], &[], &mut failures);
     }
     if want("e5") {
         let sizes: &[usize] = if quick { &[4_000] } else { &[8_000, 16_000] };
         let rows = experiment_e5(sizes);
         let title = "E5: derandomization — colour balance and I/O cost";
         println!("{}", render_table(title, &rows));
-        write_record(&json_dir, "e5", title, &rows, &[], &mut failures);
+        write_record(&json_dir, "e5", title, &rows, &[], &[], &mut failures);
     }
     if want("e6") {
         let groups: &[usize] = if quick { &[40] } else { &[40, 120] };
         let rows = experiment_e6(groups);
         let title = "E6: the 5NF Sells join as triangle enumeration";
         println!("{}", render_table(title, &rows));
-        write_record(&json_dir, "e6", title, &rows, &[], &mut failures);
+        write_record(&json_dir, "e6", title, &rows, &[], &[], &mut failures);
     }
     if want("e7") {
         let sizes: &[usize] = if quick { &[4_000] } else { &[8_000, 16_000] };
-        let rows = experiment_e7(sizes);
+        let (rows, peaks) = experiment_e7(sizes);
         let title = "E7: work optimality (operations vs E^1.5)";
         println!("{}", render_table(title, &rows));
+        println!(
+            "{}",
+            render_phase_peaks("E7: per-phase gauge peaks", &peaks)
+        );
         // Work-budget gate (wired into CI through the --quick smoke run):
         // fail loudly if the cache-oblivious path regresses toward its old
         // per-level constants.
         let verdict = check_e7_work_budget(&rows);
+        let peak_verdict = check_phase_peak_budgets(&peaks);
         write_record(
             &json_dir,
             "e7",
             title,
             &rows,
-            &[GateOutcome::of("CACHE_OBLIVIOUS_WORK_CEILING", &verdict)],
+            &peaks,
+            &[
+                GateOutcome::of("CACHE_OBLIVIOUS_WORK_CEILING", &verdict),
+                GateOutcome::of("PHASE_PEAK_BUDGET", &peak_verdict),
+            ],
             &mut failures,
         );
         match verdict {
@@ -184,13 +223,17 @@ fn main() {
             ),
             Err(msg) => failures.push(format!("E7 work-budget gate: {msg}")),
         }
+        match peak_verdict {
+            Ok(()) => println!("phase-peak gate: every phase within its declared budget"),
+            Err(msg) => failures.push(format!("E7 phase-peak gate: {msg}")),
+        }
     }
     if want("e8") {
         let (e, trials) = if quick { (4_000, 10) } else { (16_000, 30) };
         let rows = experiment_e8(e, trials);
         let title = "E8: Lemma 3 — E[X_xi] <= E*M over random 4-wise colourings";
         println!("{}", render_table(title, &rows));
-        write_record(&json_dir, "e8", title, &rows, &[], &mut failures);
+        write_record(&json_dir, "e8", title, &rows, &[], &[], &mut failures);
     }
 
     if !failures.is_empty() {

@@ -13,7 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use emsim::EmConfig;
+use emsim::{EmConfig, PhaseSnapshot};
 use graphgen::{generators, naive, Graph};
 use trienum::lower_bound::LowerBound;
 use trienum::{count_triangles, measure_random_coloring_balance, Algorithm, ExtGraph, RunReport};
@@ -41,6 +41,101 @@ impl Row {
         self.values.push((name.to_string(), value));
         self
     }
+}
+
+/// Per-phase peak gauge usage of one run — the dynamic half of the charge
+/// accounting. Serialised into the `BENCH_E<k>.json` records (E2, E3, E7)
+/// so CI can diff how many working-buffer words each phase had resident at
+/// its worst, not just the run-wide maximum.
+#[derive(Debug, Clone)]
+pub struct PhasePeakRow {
+    /// Which run the peaks belong to (same label style as [`Row`]).
+    pub case: String,
+    /// Declared per-phase budget in words; `None` for ungated baseline runs.
+    pub budget_words: Option<u64>,
+    /// The gauge snapshots, in phase execution order.
+    pub phases: Vec<PhaseSnapshot>,
+}
+
+impl PhasePeakRow {
+    /// Captures `report`'s phase peaks under `case`, gated by `budget_words`.
+    pub fn of(case: impl Into<String>, report: &RunReport, budget_words: Option<u64>) -> Self {
+        Self {
+            case: case.into(),
+            budget_words,
+            phases: report.phase_peaks.clone(),
+        }
+    }
+}
+
+/// Per-phase gauge budget for the cache-aware algorithms: the same `2M`
+/// slack the whole-run peak assertions in the test-suite allow (the paper's
+/// `O(M)` with a small constant).
+pub fn cache_aware_phase_budget(cfg: EmConfig) -> u64 {
+    2 * cfg.mem_words as u64
+}
+
+/// Per-phase gauge budget for the cache-oblivious algorithm, in **words per
+/// edge**. The algorithm never reads `M`, so its resident footprint is a
+/// function of `E` alone and the budget must be too.
+///
+/// Recorded 2026-08-08 when the per-phase snapshots were introduced. The
+/// `recursion` phase dominates: 1.14 words/edge at `E = 4000` and 0.97 at
+/// `E = 12000` (falling with `E`), almost all of it the memoised colour
+/// bits (`bit_cache_lease`) plus one subproblem's edge list; `root_sort`
+/// peaks at 0 (the pre-sorted input takes the early exit without leasing)
+/// and `leaf_batch` only carries the memo words forward. A regression that
+/// holds a whole level of the recursion tree resident (the failure mode the
+/// depth-first order exists to avoid) costs a multiple of this and trips
+/// the gate immediately, while honest noise has ≥ 30% headroom at the
+/// `--quick` size.
+pub const CACHE_OBLIVIOUS_PHASE_PEAK_PER_EDGE: f64 = 1.5;
+
+/// The cache-oblivious per-phase budget for an `E`-edge input, in words.
+pub fn cache_oblivious_phase_budget(e: usize) -> u64 {
+    (CACHE_OBLIVIOUS_PHASE_PEAK_PER_EDGE * e as f64) as u64
+}
+
+/// Checks every gated [`PhasePeakRow`] against its declared budget; returns
+/// a description of the first offending phase, if any.
+pub fn check_phase_peak_budgets(peaks: &[PhasePeakRow]) -> Result<(), String> {
+    for row in peaks {
+        let Some(budget) = row.budget_words else {
+            continue;
+        };
+        for p in &row.phases {
+            if p.peak_words > budget {
+                return Err(format!(
+                    "run '{}' phase '{}': peak {} words exceeds the declared budget of \
+                     {budget} words",
+                    row.case, p.name, p.peak_words
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders per-phase peak rows as an aligned text table.
+pub fn render_phase_peaks(title: &str, peaks: &[PhasePeakRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<28} {:>24} {:>12} {:>12} {:>12}\n",
+        "case", "phase", "peak_w", "live_w", "budget_w"
+    ));
+    for row in peaks {
+        let budget = row
+            .budget_words
+            .map_or_else(|| "-".to_string(), |b| b.to_string());
+        for p in &row.phases {
+            out.push_str(&format!(
+                "{:<28} {:>24} {:>12} {:>12} {:>12}\n",
+                row.case, p.name, p.peak_words, p.live_words, budget
+            ));
+        }
+    }
+    out
 }
 
 /// Renders rows as an aligned text table.
@@ -133,15 +228,26 @@ pub fn experiment_e1(sizes: &[usize], include_cubic: bool) -> Vec<Row> {
 /// predicted `min(√(E/M), √M)` improvement, plus the cache-aware I/O
 /// normalised by the paper's `E^{3/2}/(√M·B)` bound (the column the
 /// [`CACHE_AWARE_IO_CEILING`] gate watches).
-pub fn experiment_e2(e_over_m: &[usize]) -> Vec<Row> {
+pub fn experiment_e2(e_over_m: &[usize]) -> (Vec<Row>, Vec<PhasePeakRow>) {
     let mem = 512usize;
     let cfg = EmConfig::new(mem, 32);
     let mut rows = Vec::new();
+    let mut peaks = Vec::new();
     for &ratio in e_over_m {
         let e = mem * ratio;
         let g = generators::erdos_renyi((e / 8).max(64), e, 2);
         let aware = run(&g, Algorithm::CacheAwareRandomized { seed: 3 }, cfg);
         let hu = run(&g, Algorithm::HuTaoChung, cfg);
+        peaks.push(PhasePeakRow::of(
+            format!("E/M={ratio} {}", aware.algorithm),
+            &aware,
+            Some(cache_aware_phase_budget(cfg)),
+        ));
+        peaks.push(PhasePeakRow::of(
+            format!("E/M={ratio} {}", hu.algorithm),
+            &hu,
+            None,
+        ));
         let predicted = (ratio as f64).sqrt().min((mem as f64).sqrt());
         rows.push(
             Row::new(format!("E/M={ratio}"))
@@ -158,19 +264,25 @@ pub fn experiment_e2(e_over_m: &[usize]) -> Vec<Row> {
                 .col("predicted_gain", predicted),
         );
     }
-    rows
+    (rows, peaks)
 }
 
 /// **E3 — cache-obliviousness.** One fixed graph and one fixed algorithm
 /// (which never reads `M`/`B`), swept across machine configurations; the
 /// normalised I/O stays in a narrow band.
-pub fn experiment_e3(e: usize, configs: &[(usize, usize)]) -> Vec<Row> {
+pub fn experiment_e3(e: usize, configs: &[(usize, usize)]) -> (Vec<Row>, Vec<PhasePeakRow>) {
     let g = generators::erdos_renyi(e / 8, e, 7);
     let alg = Algorithm::CacheObliviousRandomized { seed: 11 };
     let mut rows = Vec::new();
+    let mut peaks = Vec::new();
     for &(m, b) in configs {
         let cfg = EmConfig::new(m, b);
         let r = run(&g, alg, cfg);
+        peaks.push(PhasePeakRow::of(
+            format!("M={m} B={b}"),
+            &r,
+            Some(cache_oblivious_phase_budget(e)),
+        ));
         rows.push(
             Row::new(format!("M={m} B={b}"))
                 .col("io", r.io.total() as f64)
@@ -179,7 +291,7 @@ pub fn experiment_e3(e: usize, configs: &[(usize, usize)]) -> Vec<Row> {
                 .col("subproblems", r.extra("subproblems").unwrap_or(0.0)),
         );
     }
-    rows
+    (rows, peaks)
 }
 
 /// **E4 — optimality against Theorem 3.** Cliques (the lower-bound witness,
@@ -282,13 +394,24 @@ pub fn experiment_e6(groups: &[usize]) -> Vec<Row> {
 }
 
 /// **E7 — work optimality.** RAM-operation counts versus `E^{3/2}`.
-pub fn experiment_e7(sizes: &[usize]) -> Vec<Row> {
+pub fn experiment_e7(sizes: &[usize]) -> (Vec<Row>, Vec<PhasePeakRow>) {
     let cfg = default_config();
     let mut rows = Vec::new();
+    let mut peaks = Vec::new();
     for &e in sizes {
         let g = generators::erdos_renyi(e / 8, e, 6);
         for alg in paper_algorithms() {
             let r = run(&g, alg, cfg);
+            let budget = if matches!(alg, Algorithm::CacheObliviousRandomized { .. }) {
+                cache_oblivious_phase_budget(e)
+            } else {
+                cache_aware_phase_budget(cfg)
+            };
+            peaks.push(PhasePeakRow::of(
+                format!("E={e} {}", alg.name()),
+                &r,
+                Some(budget),
+            ));
             rows.push(
                 Row::new(format!("E={e} {}", alg.name()))
                     .col("work_ops", r.work_ops as f64)
@@ -297,7 +420,7 @@ pub fn experiment_e7(sizes: &[usize]) -> Vec<Row> {
             );
         }
     }
-    rows
+    (rows, peaks)
 }
 
 /// Work-budget ceiling for the cache-oblivious algorithm: `reproduce` fails
@@ -492,6 +615,7 @@ pub fn experiment_record_json(
     experiment: &str,
     title: &str,
     rows: &[Row],
+    phase_peaks: &[PhasePeakRow],
     gates: &[GateOutcome],
 ) -> String {
     let mut out = String::new();
@@ -520,6 +644,34 @@ pub fn experiment_record_json(
         out.push_str(if i + 1 < rows.len() { "}},\n" } else { "}}\n" });
     }
     out.push_str("  ],\n");
+    out.push_str("  \"phase_peaks\": [\n");
+    for (i, row) in phase_peaks.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"case\": \"{}\", \"budget_words\": {}, \"phases\": [",
+            json_escape(&row.case),
+            row.budget_words
+                .map_or_else(|| "null".to_string(), |b| b.to_string())
+        ));
+        for (j, p) in row.phases.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"peak_words\": {}, \"live_words\": {}, \
+                 \"live_leases\": {}}}",
+                json_escape(&p.name),
+                p.peak_words,
+                p.live_words,
+                p.live_leases.len()
+            ));
+        }
+        out.push_str(if i + 1 < phase_peaks.len() {
+            "]},\n"
+        } else {
+            "]}\n"
+        });
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"gates\": [\n");
     for (i, gate) in gates.iter().enumerate() {
         out.push_str(&format!(
@@ -541,13 +693,14 @@ pub fn write_experiment_record(
     experiment: &str,
     title: &str,
     rows: &[Row],
+    phase_peaks: &[PhasePeakRow],
     gates: &[GateOutcome],
 ) -> std::io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("BENCH_{}.json", experiment.to_uppercase()));
     std::fs::write(
         &path,
-        experiment_record_json(experiment, title, rows, gates),
+        experiment_record_json(experiment, title, rows, phase_peaks, gates),
     )?;
     Ok(path)
 }
@@ -589,8 +742,24 @@ mod tests {
 
     #[test]
     fn e2_reports_predicted_and_measured_gain() {
-        let rows = experiment_e2(&[4]);
+        let (rows, peaks) = experiment_e2(&[4]);
         assert_eq!(rows.len(), 1);
+        let aware = peaks
+            .iter()
+            .find(|p| p.case.contains("cache-aware"))
+            .expect("cache-aware phase peaks recorded");
+        assert_eq!(aware.budget_words, Some(2 * 512));
+        let names: Vec<&str> = aware.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "step1_high_degree",
+                "step2_partition",
+                "step3_color_triples"
+            ]
+        );
+        assert!(aware.phases.iter().any(|p| p.peak_words > 0));
+        check_phase_peak_budgets(&peaks).expect("phase peaks within declared budgets");
         let predicted = rows[0]
             .values
             .iter()
@@ -602,7 +771,7 @@ mod tests {
 
     #[test]
     fn e2_io_gate_passes_current_code_and_catches_regressions() {
-        let rows = experiment_e2(&[4, 8, 16]);
+        let (rows, _) = experiment_e2(&[4, 8, 16]);
         check_e2_io_budget(&rows).expect("current implementation must satisfy the ceiling");
 
         // A regression all the way back to the per-triple step-3 loop…
@@ -640,8 +809,9 @@ mod tests {
 
     #[test]
     fn work_budget_gate_passes_current_code_and_catches_regressions() {
-        let rows = experiment_e7(&[4000]);
+        let (rows, peaks) = experiment_e7(&[4000]);
         check_e7_work_budget(&rows).expect("current implementation must satisfy the ceiling");
+        check_phase_peak_budgets(&peaks).expect("phase peaks within declared budgets");
 
         let bad = vec![Row::new("E=4000 cache-oblivious")
             .col("work_ops", 1e9)
@@ -665,8 +835,16 @@ mod tests {
 
     #[test]
     fn e3_io_gate_passes_current_code_and_catches_regressions() {
-        let rows = experiment_e3(4_000, &[(1 << 10, 32), (1 << 13, 32)]);
+        let (rows, peaks) = experiment_e3(4_000, &[(1 << 10, 32), (1 << 13, 32)]);
         check_e3_io_budget(&rows).expect("current implementation must satisfy the ceiling");
+        assert!(
+            peaks.iter().all(
+                |p| p.phases.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+                    == ["root_sort", "recursion", "leaf_batch"]
+            ),
+            "cache-oblivious runs must record their three phases"
+        );
+        check_phase_peak_budgets(&peaks).expect("phase peaks within declared budgets");
 
         // A regression to the incidence-list implementation's worst recorded
         // row (145.97 at M=512 B=32)…
@@ -689,6 +867,43 @@ mod tests {
     }
 
     #[test]
+    fn phase_peak_gate_flags_over_budget_phases_and_skips_ungated_rows() {
+        let over = PhasePeakRow {
+            case: "E=4000 cache-oblivious".into(),
+            budget_words: Some(1000),
+            phases: vec![
+                PhaseSnapshot {
+                    name: "root_sort".into(),
+                    peak_words: 900,
+                    live_words: 0,
+                    live_leases: Vec::new(),
+                },
+                PhaseSnapshot {
+                    name: "recursion".into(),
+                    peak_words: 4096,
+                    live_words: 64,
+                    live_leases: Vec::new(),
+                },
+            ],
+        };
+        let err = check_phase_peak_budgets(&[over]).unwrap_err();
+        assert!(err.contains("recursion"), "{err}");
+        assert!(err.contains("4096"), "{err}");
+
+        let ungated = PhasePeakRow {
+            case: "E=4000 hu-tao-chung".into(),
+            budget_words: None,
+            phases: vec![PhaseSnapshot {
+                name: "pivot_join".into(),
+                peak_words: u64::MAX,
+                live_words: 0,
+                live_leases: Vec::new(),
+            }],
+        };
+        check_phase_peak_budgets(&[ungated]).expect("ungated baselines are never flagged");
+    }
+
+    #[test]
     fn experiment_records_render_valid_flat_json() {
         let rows = vec![
             Row::new("M=512 B=32")
@@ -705,7 +920,24 @@ mod tests {
                 &Err("row 'x': broke\nbadly".to_string()),
             ),
         ];
-        let json = experiment_record_json("e3", "E3: cache-obliviousness", &rows, &gates);
+        let peaks = vec![
+            PhasePeakRow {
+                case: "M=512 B=32".into(),
+                budget_words: Some(2000),
+                phases: vec![PhaseSnapshot {
+                    name: "root_sort".into(),
+                    peak_words: 512,
+                    live_words: 0,
+                    live_leases: Vec::new(),
+                }],
+            },
+            PhasePeakRow {
+                case: "baseline".into(),
+                budget_words: None,
+                phases: Vec::new(),
+            },
+        ];
+        let json = experiment_record_json("e3", "E3: cache-obliviousness", &rows, &peaks, &gates);
         // Structure and escaping: balanced braces, escaped quote and newline,
         // NaN downgraded to null, booleans verbatim.
         assert_eq!(
@@ -721,10 +953,18 @@ mod tests {
         assert!(json.contains("\"passed\": false"));
         assert!(json.contains("broke\\nbadly"));
         assert!(!json.contains("NaN"));
+        assert!(json.contains("\"phase_peaks\""));
+        assert!(json.contains(
+            "{\"name\": \"root_sort\", \"peak_words\": 512, \"live_words\": 0, \
+             \"live_leases\": 0}"
+        ));
+        assert!(json.contains("\"budget_words\": 2000"));
+        assert!(json.contains("\"budget_words\": null"));
 
         let dir = std::env::temp_dir().join("trienum-bench-json-test");
         let path =
-            write_experiment_record(&dir, "e3", "E3: cache-obliviousness", &rows, &gates).unwrap();
+            write_experiment_record(&dir, "e3", "E3: cache-obliviousness", &rows, &peaks, &gates)
+                .unwrap();
         assert!(path.ends_with("BENCH_E3.json"));
         let round = std::fs::read_to_string(&path).unwrap();
         assert_eq!(round, json);

@@ -290,7 +290,7 @@ mod tests {
         machine.cold_cache();
         let before = machine.io().total();
         let mut sink = StrictSink::new();
-        let mut rec = PhaseRecorder::new();
+        let mut rec = PhaseRecorder::new(machine.gauge());
         let out = run_cache_aware_randomized(
             &eg,
             cfg,
@@ -467,7 +467,7 @@ mod tests {
             let machine = Machine::new(cfg);
             let eg = ExtGraph::load(&machine, &g);
             let mut sink = StrictSink::new();
-            let mut rec = PhaseRecorder::new();
+            let mut rec = PhaseRecorder::new(machine.gauge());
             let out = run_cache_aware_randomized(&eg, cfg, 1, strategy, &mut sink, &mut rec);
             assert_eq!(out.triangles, 0, "{strategy:?}");
         }
@@ -506,7 +506,7 @@ mod tests {
             let machine = Machine::new(cfg);
             let eg = ExtGraph::load(&machine, &g);
             let mut sink = StrictSink::new(); // panics on duplicate emission
-            let mut rec = PhaseRecorder::new();
+            let mut rec = PhaseRecorder::new(machine.gauge());
             let out = run_colored(&eg, cfg, 3, &|_| 0, strategy, &mut sink, &mut rec);
             assert_eq!(out.triangles, expected, "{strategy:?}");
             assert_eq!(sink.len() as u64, expected, "{strategy:?}");
@@ -522,7 +522,7 @@ mod tests {
                 let machine = Machine::new(cfg);
                 let eg = ExtGraph::load(&machine, &g);
                 let mut sink = crate::sink::CollectingSink::new();
-                let mut rec = PhaseRecorder::new();
+                let mut rec = PhaseRecorder::new(machine.gauge());
                 let out = run_cache_aware_randomized(&eg, cfg, seed, strategy, &mut sink, &mut rec);
                 let mut ts = sink.into_triangles();
                 ts.sort_unstable();
@@ -548,7 +548,7 @@ mod tests {
         let eg = ExtGraph::load(&machine, &g);
         machine.gauge().reset_peak();
         let mut sink = StrictSink::new();
-        let mut rec = PhaseRecorder::new();
+        let mut rec = PhaseRecorder::new(machine.gauge());
         let out = run_cache_aware_randomized(
             &eg,
             cfg,
@@ -576,7 +576,7 @@ mod tests {
             machine.cold_cache();
             let before = machine.io().total();
             let mut sink = StrictSink::new();
-            let mut rec = PhaseRecorder::new();
+            let mut rec = PhaseRecorder::new(machine.gauge());
             run_cache_aware_randomized(&eg, cfg, 7, strategy, &mut sink, &mut rec);
             machine.io().total() - before
         };

@@ -102,6 +102,7 @@ use kwise::{FourWise, RefinedColoring};
 use crate::input::ExtGraph;
 use crate::lemma1::enumerate_through_vertex;
 use crate::sink::TriangleSink;
+use crate::stats::PhaseRecorder;
 use crate::util::{remove_incident_edges, SortKind};
 use crate::RecursionStrategy;
 
@@ -196,7 +197,7 @@ impl HeavyHitters {
             .iter()
             .filter(|&&(_, n)| 8 * (n + self.decrements) >= e_here as u64)
             .map(|&(v, _)| v)
-            .collect(); // emlint: allow(unleased, reason = "at most the summary's slot count of candidates, an O(1) fraction of the Self::WORDS already leased by build")
+            .collect();
         out.sort_unstable(); // emlint: allow(uncharged-std, reason = "O(1)-bounded candidate list; negligible next to the charged scan that fed the summary")
         out
     }
@@ -269,6 +270,7 @@ pub(crate) fn run_cache_oblivious(
     seed: u64,
     strategy: RecursionStrategy,
     sink: &mut dyn TriangleSink,
+    recorder: &mut PhaseRecorder,
 ) -> (u64, CacheObliviousStats) {
     let machine = graph.machine().clone();
     let e = graph.edge_count();
@@ -289,7 +291,9 @@ pub(crate) fn run_cache_oblivious(
     // Root canonical edge list. The input is already sorted, which the
     // defensive sort detects in one charged scan and answers with a copy —
     // this is exactly the call site the sorted-input early exit exists for.
+    let io0 = machine.io();
     let root = emalgo::oblivious_sort_by_key(graph.edges(), |e| (e.u, e.v));
+    recorder.record("root_sort", io0, machine.io());
 
     // The per-level refinement bits: one 4-wise independent function per tree
     // depth, derived from the seed by a fixed splitmix sequence. Memoised —
@@ -311,6 +315,7 @@ pub(crate) fn run_cache_oblivious(
         bit_cache_lease: machine.gauge().lease(0),
         leaf_batch: LeafBatch::new(&machine),
     };
+    let io0 = machine.io();
     match strategy {
         RecursionStrategy::DepthFirst => {
             solve_depth_first(&mut ctx, root, None, &coloring, (1, 1, 1), 0)
@@ -319,7 +324,10 @@ pub(crate) fn run_cache_oblivious(
             solve_level_synchronous(&mut ctx, &machine, root, &coloring)
         }
     }
+    recorder.record("recursion", io0, machine.io());
+    let io0 = machine.io();
     close_oversized_leaves(&mut ctx, &machine, &coloring);
+    recorder.record("leaf_batch", io0, machine.io());
     let stats = CacheObliviousStats {
         subproblems: ctx.subproblems,
         max_depth: ctx.max_depth,
@@ -379,7 +387,6 @@ fn keep_top_candidates(candidates: &mut Vec<(VertexId, usize)>) {
 fn select_local_high_degree(mut candidates: Vec<(VertexId, usize)>) -> (Vec<VertexId>, bool) {
     let truncated = candidates.len() > MAX_LOCAL_HIGH_DEGREE;
     keep_top_candidates(&mut candidates);
-    // emlint: allow(unleased, reason = "candidate list bounded by MAX_LOCAL_HIGH_DEGREE after truncation")
     let mut high: Vec<VertexId> = candidates.into_iter().map(|(v, _)| v).collect();
     high.sort_unstable(); // emlint: allow(uncharged-std, reason = "O(1)-bounded candidate list")
     (high, truncated)
@@ -594,7 +601,7 @@ fn close_oversized_leaves(ctx: &mut CoContext<'_>, machine: &Machine, coloring: 
     let mut last_edge: Option<(u32, u32, u32)> = None;
     for (tag, (l, v, w, u)) in kway_merge_tagged(
         machine,
-        vec![ctx.leaf_batch.edges.iter(), wedges_sorted.iter()], // emlint: allow(unleased, reason = "two cursor handles, not a data buffer; the streams themselves are charged by kway_merge_tagged")
+        vec![ctx.leaf_batch.edges.iter(), wedges_sorted.iter()],
         |&(l, v, w, _)| (l, v, w),
     ) {
         if tag == 0 {
@@ -931,7 +938,8 @@ mod tests {
         machine.cold_cache();
         let before = machine.io().total();
         let mut sink = StrictSink::new();
-        let (n, stats) = run_cache_oblivious(&eg, seed, strategy, &mut sink);
+        let mut rec = PhaseRecorder::new(machine.gauge());
+        let (n, stats) = run_cache_oblivious(&eg, seed, strategy, &mut sink, &mut rec);
         (n, machine.io().total() - before, stats)
     }
 
@@ -1137,7 +1145,8 @@ mod tests {
             let machine = Machine::new(EmConfig::new(1 << 10, 32));
             let eg = ExtGraph::load(&machine, &g);
             let mut sink = StrictSink::new();
-            let _ = run_cache_oblivious(&eg, 3, strategy, &mut sink);
+            let mut rec = PhaseRecorder::new(machine.gauge());
+            let _ = run_cache_oblivious(&eg, 3, strategy, &mut sink, &mut rec);
             assert_eq!(machine.gauge().in_use(), 0, "{strategy:?}");
             assert!(
                 machine.gauge().peak() > 0,

@@ -129,7 +129,7 @@ mod tests {
         let machine = Machine::new(cfg);
         let eg = ExtGraph::load(&machine, g);
         let mut sink = StrictSink::new();
-        let mut rec = PhaseRecorder::new();
+        let mut rec = PhaseRecorder::new(machine.gauge());
         let (out, info) = run_derandomized(
             &eg,
             cfg,
@@ -194,7 +194,7 @@ mod tests {
             let machine = Machine::new(cfg);
             let eg = ExtGraph::load(&machine, &g);
             let mut sink = StrictSink::new();
-            let mut rec = PhaseRecorder::new();
+            let mut rec = PhaseRecorder::new(machine.gauge());
             let (out, _) = run_derandomized(
                 &eg,
                 cfg,

@@ -144,7 +144,6 @@ struct PivotChunk {
 /// maintenance of the adaptive loader), charging one unit of work per
 /// element touched.
 fn merge_dedup(machine: &Machine, a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
-    // emlint: allow(unleased, reason = "result is folded into the caller's lease via lease.grow immediately after return (load_adaptive)")
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() || j < b.len() {
@@ -178,7 +177,6 @@ fn merge_dedup(machine: &Machine, a: &[VertexId], b: &[VertexId]) -> Vec<VertexI
 
 /// Sorted, deduplicated endpoints of a sorted edge slice.
 fn endpoints_of(machine: &Machine, edges: &[Edge]) -> Vec<VertexId> {
-    // emlint: allow(unleased, reason = "endpoint words are covered by the callers' chunk leases (load_fixed / load_adaptive resize over edges + endpoints)")
     let mut eps: Vec<VertexId> = Vec::with_capacity(edges.len() * 2);
     for e in edges {
         eps.push(e.u);
@@ -186,7 +184,8 @@ fn endpoints_of(machine: &Machine, edges: &[Edge]) -> Vec<VertexId> {
         machine.work(1);
     }
     machine.work(eps.len() as u64 * (usize::BITS - eps.len().leading_zeros()) as u64);
-    eps.sort_unstable(); // emlint: allow(uncharged-std, reason = "in-core sort of a caller-leased buffer; n log n comparison work charged on the previous line")
+    // emlint: charge(work, eps.len() as u64 * (usize::BITS - eps.len().leading_zeros()) as u64)
+    eps.sort_unstable();
     eps.dedup();
     eps
 }
@@ -222,18 +221,20 @@ impl PivotChunk {
         start: usize,
         end: usize,
     ) -> (Self, MemLease) {
+        // Lease the chunk *before* materialising it so the words are on the
+        // gauge while the buffer is live (flow-soundness, lint rule R5).
+        let mut lease = machine.gauge().lease((end - start) as u64);
         let mut edges: Vec<Edge> = pivots.slice(start, end).load();
         machine.work(edges.len() as u64);
         if !edges.is_sorted() {
             // Callers normally hand over sorted ranges; the lemma itself
             // only requires a set, so establish the order locally.
             machine.work(edges.len() as u64 * (usize::BITS - edges.len().leading_zeros()) as u64);
-            edges.sort_unstable(); // emlint: allow(uncharged-std, reason = "in-core sort of the leased chunk; work charged on the previous line")
+            // emlint: charge(work, edges.len() as u64 * (usize::BITS - edges.len().leading_zeros()) as u64)
+            edges.sort_unstable();
         }
         let endpoints = endpoints_of(machine, &edges);
-        let lease = machine
-            .gauge()
-            .lease((edges.len() + endpoints.len()) as u64);
+        lease.grow(endpoints.len() as u64);
         (Self { edges, endpoints }, lease)
     }
 
@@ -267,7 +268,8 @@ impl PivotChunk {
             machine.work(take as u64);
             if !inc.is_sorted() {
                 machine.work(inc.len() as u64 * (usize::BITS - inc.len().leading_zeros()) as u64);
-                inc.sort_unstable(); // emlint: allow(uncharged-std, reason = "in-core sort of the leased increment; work charged on the previous line")
+                // emlint: charge(work, inc.len() as u64 * (usize::BITS - inc.len().leading_zeros()) as u64)
+                inc.sort_unstable();
             }
             let inc_eps = endpoints_of(machine, &inc);
             // Probe footprint: committed chunk + increment + its endpoints
@@ -299,7 +301,8 @@ impl PivotChunk {
             // Increments are sorted individually; an unsorted pivot *set*
             // (allowed by the lemma) needs one final local sort.
             machine.work(edges.len() as u64 * (usize::BITS - edges.len().leading_zeros()) as u64);
-            edges.sort_unstable(); // emlint: allow(uncharged-std, reason = "in-core sort of the leased chunk; work charged on the previous line")
+            // emlint: charge(work, edges.len() as u64 * (usize::BITS - edges.len().leading_zeros()) as u64)
+            edges.sort_unstable();
         }
         (Self { edges, endpoints }, lease, end)
     }
@@ -494,7 +497,7 @@ pub(crate) fn enumerate_multi_cone(
                     }
                     None => r.iter(),
                 })
-                .collect(); // emlint: allow(unleased, reason = "O(ranges-per-cone) cursor handles over zero-copy views, not a data buffer")
+                .collect();
             let merged = emalgo::kway_merge(&machine, cursors, |e: &Edge| (e.u, e.v));
             stats.emitted += scan_against_chunk(&machine, &chunk, merged, &mut keep_all, sink);
         }

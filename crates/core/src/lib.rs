@@ -261,7 +261,7 @@ pub fn enumerate_triangles_with_strategies(
     machine.gauge().reset_peak();
     let before = machine.stats();
 
-    let mut recorder = PhaseRecorder::new();
+    let mut recorder = PhaseRecorder::new(machine.gauge());
     // emlint: allow(unleased, reason = "run-report bookkeeping outside the measured region, not algorithm memory")
     let mut extra: Vec<(String, f64)> = Vec::new();
     let triangles = {
@@ -309,8 +309,13 @@ pub fn enumerate_triangles_with_strategies(
                 out.triangles
             }
             Algorithm::CacheObliviousRandomized { seed } => {
-                let (n, stats) =
-                    cache_oblivious::run_cache_oblivious(&ext, seed, recursion, &mut translating);
+                let (n, stats) = cache_oblivious::run_cache_oblivious(
+                    &ext,
+                    seed,
+                    recursion,
+                    &mut translating,
+                    &mut recorder,
+                );
                 extra.push(("subproblems".into(), stats.subproblems as f64));
                 extra.push(("max_recursion_depth".into(), stats.max_depth as f64));
                 extra.push((
@@ -348,6 +353,7 @@ pub fn enumerate_triangles_with_strategies(
 
     let after = machine.stats();
     let delta = after.since(&before);
+    let (phases, phase_peaks) = recorder.into_parts();
     RunReport {
         algorithm: algorithm.name().to_string(),
         config: cfg,
@@ -355,7 +361,8 @@ pub fn enumerate_triangles_with_strategies(
         vertices: ext.vertex_count(),
         triangles,
         io: delta.io,
-        phases: recorder.into_phases(),
+        phases,
+        phase_peaks,
         peak_mem_words: after.peak_mem_words,
         peak_disk_words: after.peak_disk_words,
         work_ops: delta.work_ops,

@@ -104,7 +104,6 @@ impl ColorPartition {
     /// best-of-k random probes).
     pub(crate) fn union_sorted(&self, pairs: &[(u64, u64)]) -> ExtVec<Edge> {
         let machine = self.edges.machine().clone();
-        // emlint: allow(unleased, reason = "at most three colour pairs per step-3 triple; O(1) scratch")
         let mut distinct: Vec<(u64, u64)> = pairs.to_vec();
         distinct.sort_unstable(); // emlint: allow(uncharged-std, reason = "sorts at most three colour pairs")
         distinct.dedup();
@@ -112,7 +111,7 @@ impl ColorPartition {
         let cursors = distinct
             .iter()
             .map(|&(a, b)| self.class_slice(a, b).iter())
-            .collect(); // emlint: allow(unleased, reason = "O(1) cursor handles over zero-copy class views")
+            .collect();
         let mut out: ExtVec<Edge> = ExtVec::new(&machine);
         out.extend(kway_merge(&machine, cursors, |e: &Edge| (e.u, e.v)));
         out

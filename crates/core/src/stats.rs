@@ -1,6 +1,6 @@
 //! Run reports: what an algorithm run measured.
 
-use emsim::{EmConfig, IoStats};
+use emsim::{EmConfig, IoStats, MemGauge, PhaseSnapshot};
 
 /// Everything measured during one triangle-enumeration run.
 ///
@@ -23,6 +23,11 @@ pub struct RunReport {
     pub io: IoStats,
     /// Per-phase block transfers, in execution order.
     pub phases: Vec<(String, IoStats)>,
+    /// Per-phase peak gauge usage, captured at the same phase boundaries as
+    /// [`RunReport::phases`]: how many working-buffer words each phase had
+    /// resident at its worst, and what survived into the next phase. Empty
+    /// when an algorithm records no phases.
+    pub phase_peaks: Vec<PhaseSnapshot>,
     /// Peak in-core working-buffer usage (words) registered with the gauge.
     pub peak_mem_words: u64,
     /// Peak simulated-disk usage in words (validates `O(E)` space claims).
@@ -68,6 +73,14 @@ impl RunReport {
             .map(|(_, io)| *io)
     }
 
+    /// The peak gauge words attributed to a named phase, if recorded.
+    pub fn phase_peak(&self, name: &str) -> Option<u64> {
+        self.phase_peaks
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.peak_words)
+    }
+
     /// Looks up an algorithm-specific extra metric by name.
     pub fn extra(&self, name: &str) -> Option<f64> {
         self.extra.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
@@ -97,24 +110,38 @@ impl std::fmt::Display for RunReport {
     }
 }
 
-/// Helper used by the algorithm implementations to attribute I/Os to phases.
-#[derive(Debug, Default)]
+/// Helper used by the algorithm implementations to attribute I/Os — and,
+/// via [`MemGauge::snapshot_phase`], peak gauge words — to phases.
+#[derive(Debug)]
 pub(crate) struct PhaseRecorder {
+    gauge: MemGauge,
     phases: Vec<(String, IoStats)>,
+    peaks: Vec<PhaseSnapshot>,
 }
 
 impl PhaseRecorder {
-    pub(crate) fn new() -> Self {
-        Self::default()
+    /// Starts a recorder over `gauge`. The phase window opens here: usage
+    /// spikes before this call (e.g. graph loading) belong to no phase.
+    pub(crate) fn new(gauge: &MemGauge) -> Self {
+        let gauge = gauge.clone();
+        gauge.snapshot_phase("__recorder_start__"); // discard; opens the window
+        Self {
+            gauge,
+            // emlint: allow(unleased, reason = "recorder bookkeeping, O(phases) entries, not data buffers")
+            phases: Vec::new(),
+            peaks: Vec::new(),
+        }
     }
 
-    /// Records that the I/Os between `before` and `after` belong to `name`.
+    /// Records that the I/Os between `before` and `after` belong to `name`,
+    /// and closes the gauge's phase window under the same name.
     pub(crate) fn record(&mut self, name: &str, before: IoStats, after: IoStats) {
         self.phases.push((name.to_string(), after.since(before)));
+        self.peaks.push(self.gauge.snapshot_phase(name));
     }
 
-    pub(crate) fn into_phases(self) -> Vec<(String, IoStats)> {
-        self.phases
+    pub(crate) fn into_parts(self) -> (Vec<(String, IoStats)>, Vec<PhaseSnapshot>) {
+        (self.phases, self.peaks)
     }
 }
 
@@ -140,6 +167,12 @@ mod tests {
                     writes: 50,
                 },
             )],
+            phase_peaks: vec![PhaseSnapshot {
+                name: "partition".into(),
+                peak_words: 800,
+                live_words: 128,
+                live_leases: Vec::new(),
+            }],
             peak_mem_words: 900,
             peak_disk_words: 20_000,
             work_ops: 1_000_000,
@@ -161,6 +194,8 @@ mod tests {
         let r = dummy_report();
         assert_eq!(r.phase_io("partition").unwrap().total(), 150);
         assert!(r.phase_io("missing").is_none());
+        assert_eq!(r.phase_peak("partition"), Some(800));
+        assert!(r.phase_peak("missing").is_none());
     }
 
     #[test]
@@ -178,8 +213,15 @@ mod tests {
     }
 
     #[test]
-    fn phase_recorder_attributes_deltas() {
-        let mut rec = PhaseRecorder::new();
+    fn phase_recorder_attributes_deltas_and_gauge_peaks() {
+        let gauge = MemGauge::new();
+        {
+            let _preexisting_spike = gauge.lease(10_000);
+        }
+        let mut rec = PhaseRecorder::new(&gauge);
+        {
+            let _phase_buffer = gauge.lease(64);
+        }
         let a = IoStats {
             reads: 10,
             writes: 5,
@@ -189,7 +231,7 @@ mod tests {
             writes: 9,
         };
         rec.record("x", a, b);
-        let phases = rec.into_phases();
+        let (phases, peaks) = rec.into_parts();
         assert_eq!(
             phases[0].1,
             IoStats {
@@ -197,5 +239,11 @@ mod tests {
                 writes: 4
             }
         );
+        assert_eq!(peaks[0].name, "x");
+        assert_eq!(
+            peaks[0].peak_words, 64,
+            "spikes before the recorder opened must not count"
+        );
+        assert_eq!(peaks[0].live_words, 0);
     }
 }

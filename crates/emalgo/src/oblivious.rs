@@ -64,7 +64,8 @@ where
         // Constant-size base case: read, sort, write.
         let _lease = machine.gauge().lease((n * T::WORDS) as u64);
         let mut buf = input.load_range(lo, hi);
-        buf.sort_by_key(|t| key(t)); // emlint: allow(uncharged-std, reason = "constant-size base case of the leased buffer; work charged on the next line")
+        // emlint: charge(work, n as u64 * 6)
+        buf.sort_by_key(|t| key(t));
         machine.work(n as u64 * 6);
         return ExtVec::from_slice(&machine, &buf);
     }

@@ -56,7 +56,8 @@ where
         let _lease = machine.gauge().lease((n * T::WORDS) as u64);
         let mut buf = input.load_all();
         machine.work(buf.len() as u64 * (usize::BITS - buf.len().leading_zeros()) as u64);
-        buf.sort_by_key(|t| key(t)); // emlint: allow(uncharged-std, reason = "in-core sort of the leased buffer; n log n work charged on the previous line")
+        // emlint: charge(work, buf.len() as u64 * (usize::BITS - buf.len().leading_zeros()) as u64)
+        buf.sort_by_key(|t| key(t));
         let out = ExtVec::from_slice(&machine, &buf);
         return (
             out,
@@ -76,7 +77,8 @@ where
         let _lease = machine.gauge().lease(((end - start) * T::WORDS) as u64);
         let mut buf = input.load_range(start, end);
         machine.work(buf.len() as u64 * (usize::BITS - buf.len().leading_zeros()) as u64);
-        buf.sort_by_key(|t| key(t)); // emlint: allow(uncharged-std, reason = "in-core sort of the leased run; n log n work charged on the previous line")
+        // emlint: charge(work, buf.len() as u64 * (usize::BITS - buf.len().leading_zeros()) as u64)
+        buf.sort_by_key(|t| key(t));
         runs.push(ExtVec::from_slice(&machine, &buf));
         start = end;
     }
@@ -120,7 +122,7 @@ where
     let mut out: ExtVec<T> = ExtVec::new(&machine);
     out.extend(crate::kway_merge(
         &machine,
-        runs.iter().map(|r| r.iter()).collect(), // emlint: allow(unleased, reason = "O(fanout) run cursors; the per-cursor head blocks are the cache frames the model already charges")
+        runs.iter().map(|r| r.iter()).collect(),
         key,
     ));
     out

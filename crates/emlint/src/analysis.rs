@@ -44,6 +44,9 @@ pub struct Analysis {
     pub fns: Vec<FnInfo>,
     /// Spans of test-only items: `#[cfg(test)]`/`#[test]`-attributed items.
     pub test_spans: Vec<Span>,
+    /// Every brace-delimited scope `{…}` (fn bodies, blocks, modules), each
+    /// span covering both braces. Unclosed scopes extend to EOF.
+    pub scopes: Vec<Span>,
 }
 
 /// What a pushed `{` opens.
@@ -64,7 +67,8 @@ impl Analysis {
         let text = view.cleaned.as_bytes();
         let mut fns: Vec<FnInfo> = Vec::new();
         let mut test_spans: Vec<Span> = Vec::new();
-        let mut stack: Vec<BraceKind> = Vec::new();
+        let mut scopes: Vec<Span> = Vec::new();
+        let mut stack: Vec<(usize, BraceKind)> = Vec::new();
         let mut pending_fn: Option<usize> = None;
         let mut pending_test: Option<usize> = None;
         let mut paren_depth = 0usize;
@@ -117,23 +121,48 @@ impl Analysis {
                         });
                         test_spans.len() - 1
                     });
-                    stack.push(match (fn_idx, test_idx) {
-                        (Some(f), Some(t)) => BraceKind::FnTest(f, t),
-                        (Some(f), None) => BraceKind::Fn(f),
-                        (None, Some(t)) => BraceKind::TestItem(t),
-                        (None, None) => BraceKind::Plain,
-                    });
+                    stack.push((
+                        i,
+                        match (fn_idx, test_idx) {
+                            (Some(f), Some(t)) => BraceKind::FnTest(f, t),
+                            (Some(f), None) => BraceKind::Fn(f),
+                            (None, Some(t)) => BraceKind::TestItem(t),
+                            (None, None) => BraceKind::Plain,
+                        },
+                    ));
                     i += 1;
                 }
                 b'}' => {
                     match stack.pop() {
-                        Some(BraceKind::Fn(f)) => fns[f].body.end = i + 1,
-                        Some(BraceKind::TestItem(t)) => test_spans[t].end = i + 1,
-                        Some(BraceKind::FnTest(f, t)) => {
+                        Some((open, BraceKind::Fn(f))) => {
+                            fns[f].body.end = i + 1;
+                            scopes.push(Span {
+                                start: open,
+                                end: i + 1,
+                            });
+                        }
+                        Some((open, BraceKind::TestItem(t))) => {
+                            test_spans[t].end = i + 1;
+                            scopes.push(Span {
+                                start: open,
+                                end: i + 1,
+                            });
+                        }
+                        Some((open, BraceKind::FnTest(f, t))) => {
                             fns[f].body.end = i + 1;
                             test_spans[t].end = i + 1;
+                            scopes.push(Span {
+                                start: open,
+                                end: i + 1,
+                            });
                         }
-                        _ => {}
+                        Some((open, BraceKind::Plain)) => {
+                            scopes.push(Span {
+                                start: open,
+                                end: i + 1,
+                            });
+                        }
+                        None => {}
                     }
                     i += 1;
                 }
@@ -154,13 +183,24 @@ impl Analysis {
             }
         }
 
+        // Unclosed scopes (malformed input) extend to EOF.
+        for (open, _) in stack {
+            scopes.push(Span {
+                start: open,
+                end: text.len(),
+            });
+        }
         for f in &mut fns {
             let hay = &view.cleaned[f.sig_start..f.body.end.min(view.cleaned.len())];
             f.holds_lease = hay.contains(".lease(")
                 || hay.contains(".lease_tagged(")
                 || hay.contains("MemLease");
         }
-        Analysis { fns, test_spans }
+        Analysis {
+            fns,
+            test_spans,
+            scopes,
+        }
     }
 
     /// The innermost `fn` whose signature+body contains `pos`.
@@ -175,6 +215,30 @@ impl Analysis {
     pub fn in_test(&self, pos: usize) -> bool {
         self.test_spans.iter().any(|s| s.contains(pos))
     }
+
+    /// The innermost brace scope containing `pos`, if any.
+    pub fn innermost_scope(&self, pos: usize) -> Option<Span> {
+        self.scopes
+            .iter()
+            .filter(|s| s.contains(pos))
+            .min_by_key(|s| s.end - s.start)
+            .copied()
+    }
+}
+
+/// The name of `f` as declared after its `fn` keyword, read from the cleaned
+/// text (`None` for malformed input).
+pub fn fn_name<'a>(cleaned: &'a str, f: &FnInfo) -> Option<&'a str> {
+    let bytes = cleaned.as_bytes();
+    let mut i = f.sig_start + 2; // past `fn`
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len() && is_ident_byte(bytes[i]) {
+        i += 1;
+    }
+    (i > start).then(|| &cleaned[start..i])
 }
 
 /// Whether the attribute body (text between `[` and `]`) marks a test fn:
@@ -267,6 +331,26 @@ mod tests {
         let pos = view.cleaned.find("let v").unwrap();
         let f = a.enclosing_fn(pos).unwrap();
         assert!(!f.holds_lease, "inner fn must not inherit the outer lease");
+    }
+
+    #[test]
+    fn scopes_record_every_brace_pair_and_query_innermost() {
+        let src = "fn f() {\n    if x {\n        g();\n    }\n    h();\n}\n";
+        let (view, a) = analyse(src);
+        assert_eq!(a.scopes.len(), 2);
+        let g_pos = view.cleaned.find("g()").unwrap();
+        let h_pos = view.cleaned.find("h()").unwrap();
+        let inner = a.innermost_scope(g_pos).unwrap();
+        let outer = a.innermost_scope(h_pos).unwrap();
+        assert!(inner.start > outer.start && inner.end < outer.end);
+    }
+
+    #[test]
+    fn fn_names_are_read_from_signatures() {
+        let src = "fn alpha() {}\npub(crate) fn beta_2(x: u32) -> u32 { x }\n";
+        let (view, a) = analyse(src);
+        assert_eq!(fn_name(&view.cleaned, &a.fns[0]), Some("alpha"));
+        assert_eq!(fn_name(&view.cleaned, &a.fns[1]), Some("beta_2"));
     }
 
     #[test]

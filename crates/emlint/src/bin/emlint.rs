@@ -1,47 +1,40 @@
-//! CLI: `cargo run -p emlint -- --workspace` (scoped by `emlint.toml`), or
-//! `cargo run -p emlint -- --rules R1,R4 path/to/file.rs …` for ad-hoc runs.
-//! Prints `file:line: R<k>(<slug>): message — hint` lines, sorted, and exits
-//! 1 when anything is found (2 on usage/config/io errors).
+//! CLI: `cargo run -p emlint -- --workspace [--json]` (scoped by
+//! `emlint.toml`), or `cargo run -p emlint -- --rules R1,R4 path/to/file.rs …`
+//! for ad-hoc runs. Prints `file:line: R<k>(<slug>): message — hint` lines,
+//! sorted, plus the waiver/charge-annotation counts CI tracks, and exits 1
+//! when anything is found (2 on usage/config/io errors). `--json` emits the
+//! same information as a machine-readable object for the CI artifact.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use emlint::{find_workspace_root, lint_file, lint_workspace, Config, Finding, Rule};
+use emlint::{find_workspace_root, lint_file, lint_workspace_report, Config, Rule};
 
 const USAGE: &str = "\
 emlint — charge-soundness lints for the trienum workspace
 
 USAGE:
-    emlint --workspace                 lint every scope in emlint.toml
-                                       (found by ascending from the cwd)
+    emlint --workspace [--json]        lint every scope in emlint.toml
+                                       (found by ascending from the cwd);
+                                       --json prints a findings object for
+                                       the CI artifact
     emlint [--rules LIST] FILE...      lint specific files; LIST is a
                                        comma-separated set of rule ids or
-                                       slugs (default: R1,R2,R3,R4)
+                                       slugs (default: R1,R2,R3,R4,R5,R6)
     emlint --help
 
-Rules: R1/unleased, R2/uncharged-std, R3/uncharged-probe, R4/hygiene.
+Rules: R1/unleased, R2/uncharged-std, R3/uncharged-probe, R4/hygiene,
+R5/tainted-materialisation, R6/uncharged-work, R7/lease-summary.
 Waive a finding in source with:
     // emlint: allow(<slug>, reason = \"…\")
+Declare an adjacent work charge (verified by R6) with:
+    // emlint: charge(work, <expr>)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(findings) if findings.is_empty() => {
-            println!("emlint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
-            }
-            println!(
-                "emlint: {} finding{}",
-                findings.len(),
-                if findings.len() == 1 { "" } else { "s" }
-            );
-            ExitCode::FAILURE
-        }
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("emlint: error: {msg}");
             ExitCode::from(2)
@@ -49,15 +42,17 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<Vec<Finding>, String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print!("{USAGE}");
-        return Ok(Vec::new());
+        return Ok(ExitCode::SUCCESS);
     }
 
     if args.iter().any(|a| a == "--workspace") {
-        if args.len() != 1 {
-            return Err("--workspace takes no other arguments".to_string());
+        let json = args.iter().any(|a| a == "--json");
+        let expected = 1 + usize::from(json);
+        if args.len() != expected {
+            return Err("--workspace takes no arguments other than --json".to_string());
         }
         let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
         let root = find_workspace_root(&cwd)
@@ -65,13 +60,34 @@ fn run(args: &[String]) -> Result<Vec<Finding>, String> {
         let text = std::fs::read_to_string(root.join("emlint.toml"))
             .map_err(|e| format!("emlint.toml: {e}"))?;
         let config = Config::parse(&text)?;
-        let mut findings = lint_workspace(&root, &config)?;
-        findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-        return Ok(findings);
+        let mut report = lint_workspace_report(&root, &config)?;
+        report
+            .findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        if json {
+            println!("{}", render_json(&report));
+        } else {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            println!(
+                "emlint: {} finding{} across {} files ({} waivers in effect, {} charge annotations)",
+                report.findings.len(),
+                if report.findings.len() == 1 { "" } else { "s" },
+                report.files,
+                report.waivers,
+                report.charges
+            );
+        }
+        return Ok(if report.findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
     }
 
     // Explicit-file mode.
-    let mut rules: Vec<Rule> = vec![Rule::R1, Rule::R2, Rule::R3, Rule::R4];
+    let mut rules: Vec<Rule> = vec![Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6];
     let mut files: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -79,21 +95,9 @@ fn run(args: &[String]) -> Result<Vec<Finding>, String> {
             let list = it
                 .next()
                 .ok_or_else(|| "--rules wants a comma-separated list".to_string())?;
-            rules = list
-                .split(',')
-                .map(|name| {
-                    Rule::parse(name.trim())
-                        .ok_or_else(|| format!("unknown rule `{}`", name.trim()))
-                })
-                .collect::<Result<_, _>>()?;
+            rules = parse_rules(list)?;
         } else if let Some(list) = arg.strip_prefix("--rules=") {
-            rules = list
-                .split(',')
-                .map(|name| {
-                    Rule::parse(name.trim())
-                        .ok_or_else(|| format!("unknown rule `{}`", name.trim()))
-                })
-                .collect::<Result<_, _>>()?;
+            rules = parse_rules(list)?;
         } else if arg.starts_with('-') {
             return Err(format!("unknown flag `{arg}` (see --help)"));
         } else {
@@ -108,5 +112,73 @@ fn run(args: &[String]) -> Result<Vec<Finding>, String> {
         findings.extend(lint_file(Path::new(""), file, &rules)?);
     }
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(findings)
+    if findings.is_empty() {
+        println!("emlint: clean");
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "emlint: {} finding{}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+    }
+    Ok(if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn parse_rules(list: &str) -> Result<Vec<Rule>, String> {
+    list.split(',')
+        .map(|name| {
+            Rule::parse(name.trim()).ok_or_else(|| format!("unknown rule `{}`", name.trim()))
+        })
+        .collect()
+}
+
+/// Hand-rolled JSON (the container has no registry access, so no serde):
+/// `{"findings": […], "files": N, "waivers": N, "charges": N}`.
+fn render_json(report: &emlint::WorkspaceReport) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"slug\": {}, \"message\": {}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule.id()),
+            json_str(f.rule.slug()),
+            json_str(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files\": {},\n  \"waivers\": {},\n  \"charges\": {}\n}}",
+        report.files, report.waivers, report.charges
+    ));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

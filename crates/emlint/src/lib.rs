@@ -8,7 +8,7 @@
 //! `HashMap` compiles fine and silently under-reports M or the CPU side.
 //!
 //! `emlint` closes that gap statically. It is a dependency-free, token-level
-//! analyzer (no `syn`; see [`source`] and [`analysis`]) running four rules:
+//! analyzer (no `syn`; see [`source`] and [`analysis`]) running seven rules:
 //!
 //! | rule | slug | catches |
 //! |------|------|---------|
@@ -16,23 +16,44 @@
 //! | R2 | `uncharged-std` | std hash/tree containers, `[T]::sort*` |
 //! | R3 | `uncharged-probe` | `ExtVec`/`ExtSlice` materialisation bypassing charged probes |
 //! | R4 | `hygiene` | `unsafe`, missing `#![forbid(unsafe_code)]`, waiver rot |
+//! | R5 | `tainted-materialisation` | index/iterate/sort of a loaded buffer with no lease live ([`taint`]) |
+//! | R6 | `uncharged-work` | `charge(work, …)` annotations without a matching `machine.work(…)` call |
+//! | R7 | `lease-summary` | unleased calls to helpers folded into their caller's lease ([`summary`]) |
+//!
+//! R5–R7 are *flow-aware*: R5 tracks taint from `.load*()` through moves and
+//! clones and demands a lease **live at the use site** (not merely somewhere
+//! in the fn), R6 turns the "sort charged via adjacent `machine.work`"
+//! waiver family into a checked annotation, and R7 builds per-function lease
+//! summaries over the whole workspace so helpers whose buffers are charged
+//! to every caller's lease need no waiver at all.
 //!
 //! Deliberate exceptions carry inline waivers that must name a reason and go
-//! stale loudly (see [`source::Waiver`]):
+//! stale loudly (see [`source::Waiver`]); a waiver above a statement covers
+//! every physical line rustfmt wrapped it onto:
 //!
 //! ```text
-//! // emlint: allow(uncharged-std, reason = "in-core sort of a leased buffer; charged via machine.work")
+//! // emlint: allow(unleased, reason = "cursor handles, O(1) per run")
+//! let cursors: Vec<_> = runs.iter().map(|r| r.iter()).collect();
+//! ```
+//!
+//! Checked charge annotations replace the old sort-waiver family
+//! (see [`source::ChargeAnnotation`] and rule R6):
+//!
+//! ```text
+//! // emlint: charge(work, n as u64 * 6)
 //! buf.sort_unstable();
 //! ```
 //!
 //! Scoping lives in `emlint.toml` at the workspace root ([`config`]): charged
-//! crates get R1–R4, `kwise` (no `emsim` dependency — its buffers are leased
-//! by callers) gets R2+R4, and bench/graphgen/test trees get nothing.
+//! crates get R1–R7, `kwise` (no `emsim` dependency — its buffers are leased
+//! by callers) gets R2+R4, the root facade gets R2+R4, and
+//! bench/graphgen/test trees get nothing.
 //!
-//! The CLI (`cargo run -p emlint -- --workspace`) prints `file:line:
-//! R<k>(<slug>): message — hint` lines and exits nonzero on findings; CI runs
-//! it alongside the dynamic half of the story, `emsim`'s `gauge-audit`
-//! feature (live-lease registry, leak detection at gauge drop).
+//! The CLI (`cargo run -p emlint -- --workspace [--json]`) prints
+//! `file:line: R<k>(<slug>): message — hint` lines plus the waivers-in-effect
+//! count and exits nonzero on findings; CI runs it alongside the dynamic half
+//! of the story, `emsim`'s `gauge-audit` feature (live-lease registry,
+//! per-phase peak snapshots, leak detection at gauge drop).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,9 +62,12 @@ pub mod analysis;
 pub mod config;
 pub mod rules;
 pub mod source;
+pub mod summary;
+pub mod taint;
 
 pub use config::{Config, Scope};
-pub use rules::{check_file, Finding, Rule};
+pub use rules::{check_file, check_file_with_summaries, Finding, Rule};
+pub use summary::Summaries;
 
 use std::path::{Path, PathBuf};
 
@@ -54,10 +78,31 @@ pub fn lint_file(root: &Path, rel_path: &str, rules: &[Rule]) -> Result<Vec<Find
     Ok(check_file(rel_path, &text, rules))
 }
 
+/// What a workspace lint run saw: findings plus the accounting-debt
+/// numbers CI and EXPERIMENTS.md track.
+#[derive(Debug)]
+pub struct WorkspaceReport {
+    /// All findings, in walk order.
+    pub findings: Vec<Finding>,
+    /// Files linted under some scope.
+    pub files: usize,
+    /// Well-formed `emlint: allow` waivers in scoped files.
+    pub waivers: usize,
+    /// Well-formed `emlint: charge` annotations in scoped files.
+    pub charges: usize,
+}
+
 /// Lints every `.rs` file under the config's scopes, rooted at `root`
 /// (the directory containing `emlint.toml`). Deterministic order: files
 /// sorted by workspace-relative path.
 pub fn lint_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
+    lint_workspace_report(root, config).map(|r| r.findings)
+}
+
+/// Like [`lint_workspace`], also reporting file/waiver/charge counts. Runs
+/// in two passes: the first builds the inter-procedural lease summaries R7
+/// consumes, the second applies the rule pack per file.
+pub fn lint_workspace_report(root: &Path, config: &Config) -> Result<WorkspaceReport, String> {
     let mut files: Vec<String> = Vec::new();
     for scope in &config.scopes {
         collect_rs_files(root, &scope.path, &mut files)?;
@@ -65,15 +110,35 @@ pub fn lint_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, Stri
     files.sort();
     files.dedup();
 
-    let mut findings = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for rel in &files {
-        let rules = config.rules_for(rel);
-        if rules.is_empty() {
+        if config.rules_for(rel).is_empty() {
             continue;
         }
-        findings.extend(lint_file(root, rel, rules)?);
+        let text = std::fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
+        sources.push((rel.clone(), text));
     }
-    Ok(findings)
+    let summaries = Summaries::build(sources.iter().map(|(p, t)| (p.as_str(), t.as_str())));
+
+    let mut report = WorkspaceReport {
+        findings: Vec::new(),
+        files: sources.len(),
+        waivers: 0,
+        charges: 0,
+    };
+    for (rel, text) in &sources {
+        let rules = config.rules_for(rel);
+        report.findings.extend(check_file_with_summaries(
+            rel,
+            text,
+            rules,
+            Some(&summaries),
+        ));
+        let view = source::SourceView::parse(text);
+        report.waivers += view.waivers.iter().filter(|w| !w.malformed).count();
+        report.charges += view.charges.iter().filter(|c| !c.malformed).count();
+    }
+    Ok(report)
 }
 
 /// Recursively collects `.rs` files under `root/rel_dir` as

@@ -22,8 +22,10 @@
 //! using it; the usage sites are flagged instead). Test-only code
 //! (`#[cfg(test)]` / `#[test]` spans) is exempt from R1–R3 but not from R4.
 
-use crate::analysis::{is_ident_byte, Analysis};
-use crate::source::SourceView;
+use crate::analysis::{fn_name, is_ident_byte, Analysis};
+use crate::source::{ChargeAnnotation, SourceView};
+use crate::summary::Summaries;
+use crate::taint;
 
 /// The rule pack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -36,16 +38,26 @@ pub enum Rule {
     R3,
     /// `forbid(unsafe_code)` + waiver hygiene.
     R4,
+    /// No index/iterate/sort over a materialised buffer without a live lease.
+    R5,
+    /// `charge(work, …)` annotations must be backed by an adjacent
+    /// `machine.work(…)` call in the same block.
+    R6,
+    /// Lease-taking helpers must be called from leased context.
+    R7,
 }
 
 impl Rule {
-    /// `"R1"` … `"R4"`.
+    /// `"R1"` … `"R7"`.
     pub fn id(self) -> &'static str {
         match self {
             Rule::R1 => "R1",
             Rule::R2 => "R2",
             Rule::R3 => "R3",
             Rule::R4 => "R4",
+            Rule::R5 => "R5",
+            Rule::R6 => "R6",
+            Rule::R7 => "R7",
         }
     }
 
@@ -56,6 +68,9 @@ impl Rule {
             Rule::R2 => "uncharged-std",
             Rule::R3 => "uncharged-probe",
             Rule::R4 => "hygiene",
+            Rule::R5 => "tainted-materialisation",
+            Rule::R6 => "uncharged-work",
+            Rule::R7 => "lease-summary",
         }
     }
 
@@ -66,6 +81,9 @@ impl Rule {
             "R2" | "uncharged-std" => Some(Rule::R2),
             "R3" | "uncharged-probe" => Some(Rule::R3),
             "R4" | "hygiene" => Some(Rule::R4),
+            "R5" | "tainted-materialisation" => Some(Rule::R5),
+            "R6" | "uncharged-work" => Some(Rule::R6),
+            "R7" | "lease-summary" => Some(Rule::R7),
             _ => None,
         }
     }
@@ -189,6 +207,15 @@ fn hint(rule: Rule) -> &'static str {
              // emlint: allow(uncharged-probe, reason = \"…\")"
         }
         Rule::R4 => "",
+        Rule::R5 => {
+            "create the lease before the use (a lease created later does not cover it), \
+             or waive: // emlint: allow(tainted-materialisation, reason = \"…\")"
+        }
+        Rule::R6 => "",
+        Rule::R7 => {
+            "hold a lease in the calling scope (the helper charges its buffers to the \
+             caller's lease), or waive: // emlint: allow(lease-summary, reason = \"…\")"
+        }
     }
 }
 
@@ -200,18 +227,52 @@ fn is_crate_root(file: &str) -> bool {
 }
 
 /// Runs `rules` over one file and returns its findings, waivers applied.
+/// Intra-procedural only: R7's inter-procedural half needs workspace
+/// summaries — see [`check_file_with_summaries`].
 pub fn check_file(file: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
+    check_file_with_summaries(file, text, rules, None)
+}
+
+/// Marks the first waiver covering `line` for `rule` as used; `true` when
+/// one exists. R4 and R6 findings are process errors and never waivable.
+fn try_waive(view: &SourceView, used: &mut [bool], line: usize, rule: Rule) -> bool {
+    if matches!(rule, Rule::R4 | Rule::R6) {
+        return false;
+    }
+    match view
+        .waivers
+        .iter()
+        .position(|w| !w.malformed && w.covers(line) && Rule::parse(&w.rule) == Some(rule))
+    {
+        Some(i) => {
+            used[i] = true;
+            true
+        }
+        None => false,
+    }
+}
+
+/// Like [`check_file`], with workspace lease summaries enabling R7: R1/R3
+/// findings inside covered helpers are suppressed, and unleased calls to
+/// `MemLease`-taking helpers in this file are reported.
+pub fn check_file_with_summaries(
+    file: &str,
+    text: &str,
+    rules: &[Rule],
+    summaries: Option<&Summaries>,
+) -> Vec<Finding> {
     let view = SourceView::parse(text);
     let analysis = Analysis::scan(&view);
     let mut findings: Vec<Finding> = Vec::new();
     let mut waiver_used = vec![false; view.waivers.len()];
+    let mut charge_used = vec![false; view.charges.len()];
 
     for &rule in rules {
         let patterns: &[Pattern] = match rule {
             Rule::R1 => R1_PATTERNS,
             Rule::R2 => R2_PATTERNS,
             Rule::R3 => R3_PATTERNS,
-            Rule::R4 => continue,
+            Rule::R4 | Rule::R5 | Rule::R6 | Rule::R7 => continue,
         };
         for p in patterns {
             for pos in find_all(&view.cleaned, p) {
@@ -222,18 +283,35 @@ pub fn check_file(file: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
                 if view.cleaned_line(line).trim_start().starts_with("use ") {
                     continue;
                 }
-                if matches!(rule, Rule::R1 | Rule::R3)
-                    && analysis.enclosing_fn(pos).is_some_and(|f| f.holds_lease)
-                {
-                    continue;
+                if matches!(rule, Rule::R1 | Rule::R3) {
+                    let enclosing = analysis.enclosing_fn(pos);
+                    if enclosing.is_some_and(|f| f.holds_lease) {
+                        continue;
+                    }
+                    // R7 suppression: every call site of this helper is
+                    // leased-context, so the words are owned by the callers.
+                    if rules.contains(&Rule::R7) {
+                        if let (Some(s), Some(f)) = (summaries, enclosing) {
+                            if fn_name(&view.cleaned, f).is_some_and(|name| s.covered(name)) {
+                                continue;
+                            }
+                        }
+                    }
                 }
-                // Waivers: same rule, covering this line.
-                if let Some(w) = view.waivers.iter().position(|w| {
-                    !w.malformed
-                        && w.target_line == Some(line)
-                        && Rule::parse(&w.rule) == Some(rule)
-                }) {
-                    waiver_used[w] = true;
+                // R6: an in-core sort covered by a charge annotation is
+                // accounted for; the annotation itself is verified below.
+                if rule == Rule::R2 && p.needle.starts_with(".sort") && rules.contains(&Rule::R6) {
+                    if let Some(ci) = view
+                        .charges
+                        .iter()
+                        .position(|c| !c.malformed && c.kind == "work" && c.covers(line))
+                    {
+                        charge_used[ci] = true;
+                        continue;
+                    }
+                }
+                // Waivers: same rule, covering this line's statement.
+                if try_waive(&view, &mut waiver_used, line, rule) {
                     continue;
                 }
                 findings.push(Finding {
@@ -241,6 +319,83 @@ pub fn check_file(file: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
                     line,
                     rule,
                     message: format!("{} outside a charged scope — {}", p.display, hint(rule)),
+                });
+            }
+        }
+    }
+
+    if rules.contains(&Rule::R5) {
+        for u in taint::tainted_uses(&view, &analysis) {
+            let line = view.line_of(u.pos);
+            if try_waive(&view, &mut waiver_used, line, Rule::R5) {
+                continue;
+            }
+            findings.push(Finding {
+                file: file.to_string(),
+                line,
+                rule: Rule::R5,
+                message: format!(
+                    "`{}` holds materialised ExtVec contents and is {} with no lease \
+                     live here — {}",
+                    u.name,
+                    u.how,
+                    hint(Rule::R5)
+                ),
+            });
+        }
+    }
+
+    if rules.contains(&Rule::R6) {
+        for (ci, c) in view.charges.iter().enumerate() {
+            let problem = if c.malformed {
+                "malformed charge annotation — expected \
+                 // emlint: charge(work, <expr>)"
+                    .to_string()
+            } else if c.kind != "work" {
+                format!("unknown charge kind `{}` (known kinds: work)", c.kind)
+            } else if !charge_backed(&view, &analysis, c) {
+                format!(
+                    "unbacked charge annotation — no `.work({})` call in the \
+                     enclosing block",
+                    c.expr
+                )
+            } else if rules.contains(&Rule::R2) && !charge_used[ci] {
+                format!(
+                    "stale charge annotation — line {} triggers no uncharged-std \
+                     sort; delete the annotation",
+                    if c.target_line == 0 {
+                        c.comment_line
+                    } else {
+                        c.target_line
+                    }
+                )
+            } else {
+                continue;
+            };
+            findings.push(Finding {
+                file: file.to_string(),
+                line: c.comment_line,
+                rule: Rule::R6,
+                message: problem,
+            });
+        }
+    }
+
+    if rules.contains(&Rule::R7) {
+        if let Some(s) = summaries {
+            for (line, helper, caller) in s.unleased_lease_taker_calls(file) {
+                if try_waive(&view, &mut waiver_used, line, Rule::R7) {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule: Rule::R7,
+                    message: format!(
+                        "`{helper}` charges its buffers to a caller-provided MemLease, \
+                         but `{caller}` calls it without leased context — {}",
+                        hint(Rule::R7)
+                    ),
                 });
             }
         }
@@ -281,7 +436,7 @@ pub fn check_file(file: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
             } else if Rule::parse(&w.rule).is_none() {
                 Some(format!(
                     "waiver names unknown rule `{}` (known: unleased, uncharged-std, \
-                     uncharged-probe)",
+                     uncharged-probe, tainted-materialisation, lease-summary)",
                     w.rule
                 ))
             } else if w.reason.is_none() {
@@ -293,7 +448,11 @@ pub fn check_file(file: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
             } else if !*used {
                 Some(format!(
                     "stale waiver — line {} triggers no `{}` finding; delete the waiver",
-                    w.target_line.unwrap_or(w.comment_line),
+                    if w.target_line == 0 {
+                        w.comment_line
+                    } else {
+                        w.target_line
+                    },
                     w.rule
                 ))
             } else {
@@ -312,6 +471,62 @@ pub fn check_file(file: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
 
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
+}
+
+/// Whether a `charge(work, <expr>)` annotation is backed: some `.work(…)`
+/// call in the block enclosing the annotated statement has an argument
+/// equal (whitespace-normalised) to `<expr>`.
+fn charge_backed(view: &SourceView, analysis: &Analysis, c: &ChargeAnnotation) -> bool {
+    if c.target_line == 0 {
+        return false;
+    }
+    let Some(&line_start) = view.line_starts.get(c.target_line - 1) else {
+        return false;
+    };
+    let pos = line_start
+        + view
+            .cleaned_line(c.target_line)
+            .bytes()
+            .position(|b| !b.is_ascii_whitespace())
+            .unwrap_or(0);
+    let block = analysis
+        .innermost_scope(pos)
+        .map_or(view.cleaned.as_str(), |s| &view.cleaned[s.start..s.end]);
+    let want = normalise(&c.expr);
+    work_call_args(block)
+        .iter()
+        .any(|arg| normalise(arg) == want)
+}
+
+/// Strips all whitespace for expression comparison.
+fn normalise(expr: &str) -> String {
+    expr.split_whitespace().collect()
+}
+
+/// The argument text of every `.work(…)` call in `text` (balanced parens).
+fn work_call_args(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = text[from..].find(".work(") {
+        let open = from + rel + 5;
+        from = from + rel + 1;
+        let mut depth = 0usize;
+        for i in open..bytes.len() {
+            match bytes[i] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        out.push(text[open + 1..i].to_string());
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
 }
 
 /// All byte offsets of `p` in `hay`, boundary conditions respected.
@@ -380,6 +595,73 @@ mod tests {
         assert!(f[0].message.contains("forbid(unsafe_code)"));
         let ok = "#![forbid(unsafe_code)]\nfn f() {}\n";
         assert!(check_file("src/lib.rs", ok, &[Rule::R4]).is_empty());
+    }
+
+    #[test]
+    fn waiver_covers_a_rustfmt_wrapped_statement() {
+        let src = "fn f() {\n    // emlint: allow(unleased, reason = \"caller charges it\")\n    let v: Vec<u32> =\n        xs.iter()\n            .map(|x| x + 1)\n            .collect();\n}\n";
+        assert!(
+            check_file("x.rs", src, ALL).is_empty(),
+            "the waiver must cover every physical line of the statement"
+        );
+    }
+
+    #[test]
+    fn charge_annotation_suppresses_sort_and_verifies_backing() {
+        let rules = &[Rule::R2, Rule::R4, Rule::R6];
+        let ok = "fn f(machine: &Machine) {\n    machine.work(n as u64 * 6);\n    // emlint: charge(work, n as u64 * 6)\n    buf.sort_unstable();\n}\n";
+        assert!(check_file("x.rs", ok, rules).is_empty());
+        let unbacked = "fn f(machine: &Machine) {\n    // emlint: charge(work, n as u64 * 6)\n    buf.sort_unstable();\n}\n";
+        let f = check_file("x.rs", unbacked, rules);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].rule), (2, Rule::R6));
+        assert!(f[0].message.contains("unbacked"));
+    }
+
+    #[test]
+    fn stale_and_malformed_charge_annotations_error() {
+        let rules = &[Rule::R2, Rule::R4, Rule::R6];
+        let stale = "fn f(machine: &Machine) {\n    machine.work(1);\n    // emlint: charge(work, 1)\n    let x = 1;\n}\n";
+        let f = check_file("x.rs", stale, rules);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("stale charge"));
+        let bad = "fn f() {\n    // emlint: charge(cycles, 1)\n    buf.sort_unstable();\n}\n";
+        let f = check_file("x.rs", bad, rules);
+        // The unknown-kind annotation suppresses nothing: R2 + R6 both fire.
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|f| f.message.contains("unknown charge kind")));
+    }
+
+    #[test]
+    fn r5_flags_tainted_use_and_respects_waivers() {
+        let rules = &[Rule::R4, Rule::R5];
+        let bad = "fn f(xs: &ExtVec<u32>) {\n    let mut buf = xs.load_all();\n    buf.sort_unstable();\n}\n";
+        let f = check_file("x.rs", bad, rules);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].rule), (3, Rule::R5));
+        let waived = "fn f(xs: &ExtVec<u32>) {\n    let mut buf = xs.load_all();\n    // emlint: allow(tainted-materialisation, reason = \"bounded probe scratch\")\n    buf.sort_unstable();\n}\n";
+        assert!(check_file("x.rs", waived, rules).is_empty());
+    }
+
+    #[test]
+    fn r7_summaries_suppress_covered_helpers_and_flag_unleased_lease_takers() {
+        use crate::summary::Summaries;
+        let src = "fn helper(n: usize) -> Vec<u32> {\n    Vec::with_capacity(n)\n}\nfn taker(lease: &mut MemLease, n: usize) -> Vec<u32> {\n    Vec::with_capacity(n)\n}\nfn leased(m: &Machine) {\n    let _l = m.gauge().lease(8);\n    let a = helper(8);\n}\nfn bare() {\n    let b = taker_call();\n}\nfn taker_call() -> Vec<u32> {\n    taker(global_lease(), 8)\n}\n";
+        let s = Summaries::build([("x.rs", src)]);
+        let rules = &[Rule::R1, Rule::R4, Rule::R7];
+        let f = check_file_with_summaries("x.rs", src, rules, Some(&s));
+        // helper's with_capacity is covered; taker holds a lease param so R1
+        // skips it; the unleased call to taker is the R7 finding. taker_call
+        // and bare allocate nothing... except taker_call's Vec return.
+        assert!(
+            f.iter()
+                .any(|f| f.rule == Rule::R7 && f.message.contains("`taker`")),
+            "expected an R7 finding for the unleased taker call, got {f:?}"
+        );
+        assert!(
+            !f.iter().any(|f| f.rule == Rule::R1 && f.line == 2),
+            "helper's allocation must be covered by its leased caller"
+        );
     }
 
     #[test]

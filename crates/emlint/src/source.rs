@@ -5,17 +5,24 @@
 //! non-ASCII character is blanked out (newlines preserved), so the rule
 //! engine can pattern-match code without tripping over `"sort_unstable"` in
 //! a doc comment. Waiver comments (`// emlint: allow(rule, reason = "…")`)
-//! are collected on the way, each resolved to the code line it covers.
+//! and charge annotations (`// emlint: charge(work, <expr>)`) are collected
+//! on the way, each resolved to the code *statement* it covers: an own-line
+//! comment covers every physical line of the following statement (rustfmt
+//! wrapping a call across lines must not strand the waiver on line one).
 
 /// A parsed waiver comment.
 #[derive(Debug, Clone)]
 pub struct Waiver {
     /// 1-based line of the comment itself.
     pub comment_line: usize,
-    /// 1-based code line the waiver covers: the comment's own line if code
-    /// precedes the comment, otherwise the next line carrying code. `None`
-    /// when no such line exists (always stale).
-    pub target_line: Option<usize>,
+    /// 1-based first code line the waiver covers: the comment's own line if
+    /// code precedes the comment, otherwise the next line carrying code.
+    /// `0` when no such line exists (covers nothing; always stale).
+    pub target_line: usize,
+    /// 1-based last covered line: for an own-line comment, the last physical
+    /// line of the statement starting on `target_line`; for a trailing
+    /// comment, the comment's own line.
+    pub target_end: usize,
     /// The rule slug inside `allow(...)` (e.g. `unleased`).
     pub rule: String,
     /// The quoted `reason = "..."` text, if present and non-empty.
@@ -23,6 +30,41 @@ pub struct Waiver {
     /// Set when the comment mentions `emlint:` but does not parse as
     /// `allow(<slug>[, reason = "…"])`.
     pub malformed: bool,
+}
+
+impl Waiver {
+    /// Whether the waiver covers 1-based `line`.
+    pub fn covers(&self, line: usize) -> bool {
+        self.target_line <= line && line <= self.target_end
+    }
+}
+
+/// A parsed `// emlint: charge(<kind>, <expr>)` annotation: the statement it
+/// covers performs `<expr>` units of `<kind>` that are charged by an adjacent
+/// call in the same block (verified by rule R6).
+#[derive(Debug, Clone)]
+pub struct ChargeAnnotation {
+    /// 1-based line of the comment itself.
+    pub comment_line: usize,
+    /// First covered code line (resolution as for [`Waiver::target_line`]).
+    pub target_line: usize,
+    /// Last covered line of the annotated statement.
+    pub target_end: usize,
+    /// The charge kind (`work` is the only known kind).
+    pub kind: String,
+    /// The declared charge expression, verbatim (whitespace-normalised when
+    /// R6 compares it against `machine.work(…)` call arguments).
+    pub expr: String,
+    /// Set when the comment says `emlint:` + `charge(` but does not parse as
+    /// `charge(<kind>, <expr>)`.
+    pub malformed: bool,
+}
+
+impl ChargeAnnotation {
+    /// Whether the annotation covers 1-based `line`.
+    pub fn covers(&self, line: usize) -> bool {
+        self.target_line <= line && line <= self.target_end
+    }
 }
 
 /// The blanked code view of one file plus its waivers.
@@ -35,6 +77,8 @@ pub struct SourceView {
     pub line_starts: Vec<usize>,
     /// Every `emlint:` waiver comment found.
     pub waivers: Vec<Waiver>,
+    /// Every `emlint: charge(…)` annotation found.
+    pub charges: Vec<ChargeAnnotation>,
 }
 
 impl SourceView {
@@ -132,12 +176,20 @@ impl SourceView {
             cleaned,
             line_starts,
             waivers: Vec::new(),
+            charges: Vec::new(),
         };
-        view.waivers = comments
-            .iter()
-            .filter(|(_, text)| text.contains("emlint:"))
-            .map(|(l, text)| view.parse_waiver(*l, text))
-            .collect();
+        for (l, text) in &comments {
+            let Some(after) = text.split("emlint:").nth(1) else {
+                continue;
+            };
+            if after.trim_start().starts_with("charge(") {
+                let c = view.parse_charge(*l, after.trim_start());
+                view.charges.push(c);
+            } else {
+                let w = view.parse_waiver(*l, text);
+                view.waivers.push(w);
+            }
+        }
         view
     }
 
@@ -159,9 +211,11 @@ impl SourceView {
     }
 
     fn parse_waiver(&self, comment_line: usize, text: &str) -> Waiver {
+        let (target_line, target_end) = self.target_range(comment_line);
         let mut w = Waiver {
             comment_line,
-            target_line: self.waiver_target(comment_line),
+            target_line,
+            target_end,
             rule: String::new(),
             reason: None,
             malformed: true,
@@ -203,15 +257,108 @@ impl SourceView {
         w
     }
 
-    /// The code line a waiver comment on `comment_line` covers.
-    fn waiver_target(&self, comment_line: usize) -> Option<usize> {
+    /// Parses the args of `// emlint: charge(<kind>, <expr>)`; `after` is the
+    /// comment tail starting at `charge(`.
+    fn parse_charge(&self, comment_line: usize, after: &str) -> ChargeAnnotation {
+        let (target_line, target_end) = self.target_range(comment_line);
+        let mut c = ChargeAnnotation {
+            comment_line,
+            target_line,
+            target_end,
+            kind: String::new(),
+            expr: String::new(),
+            malformed: true,
+        };
+        let Some(args) = after
+            .strip_prefix("charge(")
+            .and_then(|rest| rest.rfind(')').map(|end| &rest[..end]))
+        else {
+            return c;
+        };
+        let Some((kind, expr)) = args.split_once(',') else {
+            return c;
+        };
+        let (kind, expr) = (kind.trim(), expr.trim());
+        if kind.is_empty()
+            || expr.is_empty()
+            || !kind
+                .chars()
+                .all(|ch| ch.is_ascii_alphanumeric() || ch == '-')
+        {
+            return c;
+        }
+        c.kind = kind.to_string();
+        c.expr = expr.to_string();
+        c.malformed = false;
+        c
+    }
+
+    /// The inclusive line range an `emlint:` comment on `comment_line`
+    /// covers: `(0, 0)` when no code follows, the comment's own line for a
+    /// trailing comment, or the full statement starting on the next code
+    /// line for an own-line comment.
+    fn target_range(&self, comment_line: usize) -> (usize, usize) {
         // Trailing comment: code on the same line, before the comment.
         if !self.cleaned_line(comment_line).trim().is_empty() {
-            return Some(comment_line);
+            return (comment_line, comment_line);
         }
-        // Own-line comment: the next line carrying code.
-        ((comment_line + 1)..=self.line_starts.len())
+        // Own-line comment: the next line carrying code, extended to the end
+        // of the statement that starts there.
+        match ((comment_line + 1)..=self.line_starts.len())
             .find(|&l| !self.cleaned_line(l).trim().is_empty())
+        {
+            Some(start) => (start, self.statement_end_line(start)),
+            None => (0, 0),
+        }
+    }
+
+    /// The 1-based last line of the statement that starts on `start_line`:
+    /// scans forward to the first `;` outside any nesting, the `}` closing a
+    /// statement-level block with no continuation (`else`, `;`, `.`, `?`),
+    /// or the `}` closing the enclosing scope.
+    pub fn statement_end_line(&self, start_line: usize) -> usize {
+        let Some(&line_start) = self.line_starts.get(start_line.wrapping_sub(1)) else {
+            return start_line;
+        };
+        let bytes = self.cleaned.as_bytes();
+        let mut paren = 0usize; // () and [] nesting (closures live here)
+        let mut brace = 0usize; // {} nesting outside parens
+        let mut i = line_start;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' | b'[' => paren += 1,
+                b')' | b']' => paren = paren.saturating_sub(1),
+                b'{' if paren == 0 => brace += 1,
+                b'}' if paren == 0 => {
+                    if brace == 0 {
+                        // Closing the scope the statement lives in.
+                        return self.line_of(i.max(line_start));
+                    }
+                    brace -= 1;
+                    if brace == 0 && !self.statement_continues(i + 1) {
+                        return self.line_of(i);
+                    }
+                }
+                b';' if paren == 0 && brace == 0 => return self.line_of(i),
+                _ => {}
+            }
+            i += 1;
+        }
+        self.line_of(bytes.len().saturating_sub(1).max(line_start))
+    }
+
+    /// After a statement-level `}` at offset `i`: whether the statement keeps
+    /// going (`let x = match … {…};`, `if … {…} else {…}`, method chains).
+    fn statement_continues(&self, mut i: usize) -> bool {
+        let bytes = self.cleaned.as_bytes();
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        match bytes.get(i) {
+            Some(b';') | Some(b'.') | Some(b'?') => true,
+            Some(b'e') => self.cleaned[i..].starts_with("else"),
+            _ => false,
+        }
     }
 
     fn blank_string(chars: &[char], mut i: usize, cleaned: &mut String, line: &mut usize) -> usize {
@@ -412,7 +559,7 @@ mod tests {
         let v = SourceView::parse(src);
         assert_eq!(v.waivers.len(), 1);
         let w = &v.waivers[0];
-        assert_eq!(w.target_line, Some(1));
+        assert_eq!((w.target_line, w.target_end), (1, 1));
         assert_eq!(w.rule, "unleased");
         assert_eq!(w.reason.as_deref(), Some("test scratch"));
         assert!(!w.malformed);
@@ -422,7 +569,45 @@ mod tests {
     fn own_line_waiver_targets_next_code_line() {
         let src = "// emlint: allow(uncharged-std, reason = \"why\")\n\nlet m = HashMap::new();\n";
         let v = SourceView::parse(src);
-        assert_eq!(v.waivers[0].target_line, Some(3));
+        assert_eq!(v.waivers[0].target_line, 3);
+        assert_eq!(v.waivers[0].target_end, 3);
+    }
+
+    #[test]
+    fn own_line_waiver_covers_the_whole_wrapped_statement() {
+        let src = "// emlint: allow(unleased, reason = \"why\")\nlet merged: Vec<u32> =\n    merge(a,\n          b);\nlet next = 1;\n";
+        let v = SourceView::parse(src);
+        let w = &v.waivers[0];
+        assert_eq!((w.target_line, w.target_end), (2, 4));
+        assert!(w.covers(3));
+        assert!(!w.covers(5));
+    }
+
+    #[test]
+    fn statement_extent_handles_blocks_and_continuations() {
+        let v = SourceView::parse("let x = match y {\n    0 => 1,\n    _ => 2,\n};\nlet z = 3;\n");
+        assert_eq!(v.statement_end_line(1), 4);
+        let v = SourceView::parse("for e in es {\n    f(e);\n}\nlet z = 3;\n");
+        assert_eq!(v.statement_end_line(1), 3);
+        // A closing brace right away: the statement never left its line.
+        let v = SourceView::parse("fn f() {\n    g();\n}\n");
+        assert_eq!(v.statement_end_line(2), 2);
+    }
+
+    #[test]
+    fn charge_annotations_parse_and_cover_their_statement() {
+        let src =
+            "// emlint: charge(work, n as u64 * 6)\nbuf.sort_unstable_by_key(\n    |e| e.0);\n";
+        let v = SourceView::parse(src);
+        assert!(v.waivers.is_empty());
+        assert_eq!(v.charges.len(), 1);
+        let c = &v.charges[0];
+        assert!(!c.malformed);
+        assert_eq!(c.kind, "work");
+        assert_eq!(c.expr, "n as u64 * 6");
+        assert_eq!((c.target_line, c.target_end), (2, 3));
+        let v = SourceView::parse("// emlint: charge(work)\nlet x = 1;\n");
+        assert!(v.charges[0].malformed);
     }
 
     #[test]

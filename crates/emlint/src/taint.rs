@@ -1,0 +1,485 @@
+//! Flow-aware taint tracking for rule R5 (`tainted-materialisation`).
+//!
+//! R3 flags the `.load*()` call itself when it happens outside a leased
+//! scope. That leaves a hole: a function can materialise an `ExtVec` into a
+//! `Vec` *inside* a leased scope, move the buffer around, and then index,
+//! iterate or sort it at a point where no lease is live any more — the
+//! materialised words silently leave the accounting. This module closes the
+//! hole with a deliberately simple intra-procedural dataflow over the
+//! blanked code view ([`SourceView`]) and the brace scopes of [`Analysis`]:
+//!
+//! * **Sources** — `let`-bindings whose right-hand side contains `.load()`,
+//!   `.load_all()` or `.load_range(` taint every bound identifier.
+//! * **Propagation** — `let y = x;`, `y = x;`, `let y = x.clone();` and
+//!   `let y = x.to_vec();` carry taint from `x` to `y`; rebinding an
+//!   identifier to anything else clears its taint (shadowing kills).
+//! * **Sinks** — indexing (`x[`), iteration (`x.iter()`, `x.iter_mut()`,
+//!   `x.into_iter()`, `for … in [&[mut ]]x`) and in-place sorting
+//!   (`x.sort*`) of a tainted identifier.
+//! * **Lease liveness** — a sink is covered when a lease binding is live at
+//!   its position: any `let` whose RHS calls `.lease(`/`.lease_tagged(` or
+//!   that binds an identifier containing `lease` (tuple-returned leases) is
+//!   live from the end of its statement to the end of its innermost brace
+//!   scope, cut short by `drop(<name>)`. A `&MemLease`/`&mut MemLease`
+//!   parameter makes the whole body live — the caller holds the words.
+//!
+//! Everything is position-aware: unlike `holds_lease` (R1/R3), a lease
+//! created *after* a use does not cover it, which is exactly what makes
+//! "load, sort, then lease" flow-unsound code visible.
+
+use crate::analysis::{is_ident_byte, Analysis, FnInfo};
+use crate::source::SourceView;
+
+/// One flagged use of a tainted buffer.
+#[derive(Debug)]
+pub struct TaintedUse {
+    /// Byte offset of the identifier in the cleaned text.
+    pub pos: usize,
+    /// The tainted identifier.
+    pub name: String,
+    /// What the use does (`indexed`, `iterated`, `sorted in place`).
+    pub how: &'static str,
+}
+
+/// Byte-offset intervals; all half-open.
+type Interval = (usize, usize);
+
+/// Runs the taint analysis over every non-test function of the file.
+pub fn tainted_uses(view: &SourceView, analysis: &Analysis) -> Vec<TaintedUse> {
+    let mut out = Vec::new();
+    for f in &analysis.fns {
+        if analysis.in_test(f.body.start) {
+            continue;
+        }
+        scan_fn(view, analysis, f, &mut out);
+    }
+    out.sort_by_key(|u| u.pos);
+    out
+}
+
+/// A `let` binding or plain assignment, in source order.
+struct BindEvent {
+    /// Ordering key: offset of the `let` keyword / LHS identifier.
+    pos: usize,
+    /// Exclusive end of the statement.
+    stmt_end: usize,
+    /// Bound identifiers (all idents of the pattern; `mut` stripped).
+    names: Vec<String>,
+    /// RHS text range (empty for `let x;`).
+    rhs: Interval,
+}
+
+fn scan_fn(view: &SourceView, analysis: &Analysis, f: &FnInfo, out: &mut Vec<TaintedUse>) {
+    let cleaned = &view.cleaned;
+    let bytes = cleaned.as_bytes();
+    let body = (f.body.start + 1).min(f.body.end)..f.body.end.saturating_sub(1);
+    if body.is_empty() {
+        return;
+    }
+    // Nested fns get their own pass; exclude their spans from this one.
+    let children: Vec<Interval> = analysis
+        .fns
+        .iter()
+        .filter(|g| g.sig_start > f.sig_start && g.body.end <= f.body.end)
+        .map(|g| (g.sig_start, g.body.end))
+        .collect();
+    let in_child = |pos: usize| children.iter().any(|&(s, e)| s <= pos && pos < e);
+
+    // Collect binding events (let + assignments).
+    let mut events: Vec<BindEvent> = Vec::new();
+    for pos in find_word(cleaned, body.clone(), "let") {
+        if in_child(pos) {
+            continue;
+        }
+        if let Some(ev) = parse_let(cleaned, pos, body.end) {
+            events.push(ev);
+        }
+    }
+    for ev in find_assignments(cleaned, body.clone()) {
+        if !in_child(ev.pos) {
+            events.push(ev);
+        }
+    }
+    events.sort_by_key(|e| e.pos);
+
+    // Lease liveness intervals.
+    let param_list = signature_params(cleaned, f);
+    let whole_body_leased = param_list.contains("MemLease");
+    let mut leases: Vec<(Vec<String>, Interval)> = Vec::new();
+    for ev in &events {
+        let rhs = &cleaned[ev.rhs.0..ev.rhs.1];
+        let is_lease = rhs.contains(".lease(")
+            || rhs.contains(".lease_tagged(")
+            || ev
+                .names
+                .iter()
+                .any(|n| n.to_ascii_lowercase().contains("lease"));
+        if is_lease {
+            let scope_end = analysis
+                .innermost_scope(ev.pos)
+                .map_or(f.body.end, |s| s.end);
+            leases.push((ev.names.clone(), (ev.stmt_end, scope_end)));
+        }
+    }
+    // drop(<name>) cuts a live lease short.
+    for pos in find_word(cleaned, body.clone(), "drop") {
+        if in_child(pos) || bytes.get(pos + 4) != Some(&b'(') {
+            continue;
+        }
+        let arg_end = cleaned[pos + 5..body.end]
+            .find(')')
+            .map_or(body.end, |r| pos + 5 + r);
+        let name = cleaned[pos + 5..arg_end]
+            .trim()
+            .trim_start_matches('&')
+            .trim();
+        for (names, interval) in &mut leases {
+            if names.iter().any(|n| n == name) && interval.0 <= pos && pos < interval.1 {
+                interval.1 = pos;
+            }
+        }
+    }
+    let lease_live =
+        |pos: usize| whole_body_leased || leases.iter().any(|(_, (s, e))| *s <= pos && pos < *e);
+
+    // Propagate taint through the events in order, producing per-identifier
+    // tainted intervals.
+    let mut tainted: Vec<(String, usize)> = Vec::new(); // name -> interval start
+    let mut intervals: Vec<(String, Interval)> = Vec::new();
+    for ev in &events {
+        let rhs = &cleaned[ev.rhs.0..ev.rhs.1];
+        let taints = rhs_materialises(rhs)
+            || rhs_root(rhs).is_some_and(|root| tainted.iter().any(|(n, _)| n == root));
+        for name in &ev.names {
+            if let Some(idx) = tainted.iter().position(|(n, _)| n == name) {
+                let (n, start) = tainted.swap_remove(idx);
+                intervals.push((n, (start, ev.pos)));
+            }
+            if taints {
+                tainted.push((name.clone(), ev.stmt_end));
+            }
+        }
+    }
+    for (n, start) in tainted {
+        intervals.push((n, (start, body.end)));
+    }
+
+    // Flag uncovered uses inside each tainted interval.
+    for (name, (start, end)) in &intervals {
+        for pos in find_word(cleaned, *start..*end, name) {
+            if in_child(pos) {
+                continue;
+            }
+            let Some(how) = classify_use(cleaned, pos, pos + name.len()) else {
+                continue;
+            };
+            if lease_live(pos) {
+                continue;
+            }
+            out.push(TaintedUse {
+                pos,
+                name: name.clone(),
+                how,
+            });
+        }
+    }
+}
+
+/// Whether an RHS materialises external data into core.
+fn rhs_materialises(rhs: &str) -> bool {
+    rhs.contains(".load()") || rhs.contains(".load_all()") || rhs.contains(".load_range(")
+}
+
+/// The root identifier of a move/clone-shaped RHS (`x`, `&x`, `x.clone()`,
+/// `x.to_vec()`), or `None` for anything more complex.
+fn rhs_root(rhs: &str) -> Option<&str> {
+    let mut s = rhs.trim();
+    while let Some(rest) = s.strip_prefix('&') {
+        s = rest.trim_start();
+    }
+    s = s.strip_prefix("mut ").map_or(s, str::trim_start);
+    let end = s.bytes().position(|b| !is_ident_byte(b)).unwrap_or(s.len());
+    if end == 0 {
+        return None;
+    }
+    let (root, rest) = s.split_at(end);
+    let rest = rest.trim();
+    matches!(rest, "" | ".clone()" | ".to_vec()").then_some(root)
+}
+
+/// Parses a `let` statement starting at `pos` (the `let` keyword) into a
+/// binding event. Pattern idents are everything before the first top-level
+/// `:` or `=`; the RHS runs from after `=` to the statement end.
+fn parse_let(cleaned: &str, pos: usize, limit: usize) -> Option<BindEvent> {
+    let bytes = cleaned.as_bytes();
+    let stmt_end = stmt_end(cleaned, pos, limit);
+    // Find the `=` that starts the initialiser: first `=` at paren depth 0
+    // that is not part of `==`/`=>`/`<=`/`>=`…
+    let mut depth = 0usize;
+    let mut eq: Option<usize> = None;
+    let mut colon: Option<usize> = None;
+    let mut i = pos + 3;
+    while i < stmt_end {
+        match bytes[i] {
+            b'(' | b'[' | b'<' => depth += 1,
+            b')' | b']' | b'>' => depth = depth.saturating_sub(1),
+            b':' if depth == 0 && colon.is_none() => colon = Some(i),
+            b'=' if depth == 0
+                && bytes.get(i + 1) != Some(&b'=')
+                && bytes.get(i + 1) != Some(&b'>')
+                && !matches!(bytes[i - 1], b'=' | b'!' | b'<' | b'>') =>
+            {
+                eq = Some(i);
+                break;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let pattern_end = colon.or(eq).unwrap_or(stmt_end.saturating_sub(1));
+    let pattern = &cleaned[(pos + 3).min(pattern_end)..pattern_end];
+    let names: Vec<String> = pattern
+        .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|w| !w.is_empty() && *w != "mut" && *w != "ref" && *w != "_")
+        .map(str::to_string)
+        .collect();
+    if names.is_empty() {
+        return None;
+    }
+    let rhs = eq.map_or((stmt_end, stmt_end), |e| {
+        (e + 1, stmt_end.saturating_sub(1).max(e + 1))
+    });
+    Some(BindEvent {
+        pos,
+        stmt_end,
+        names,
+        rhs,
+    })
+}
+
+/// Finds plain `x = rhs;` assignments: an `=` whose LHS is a lone identifier
+/// opening the statement.
+fn find_assignments(cleaned: &str, range: std::ops::Range<usize>) -> Vec<BindEvent> {
+    let bytes = cleaned.as_bytes();
+    let mut out = Vec::new();
+    for i in range.clone() {
+        if bytes[i] != b'='
+            || bytes.get(i + 1) == Some(&b'=')
+            || bytes.get(i + 1) == Some(&b'>')
+            || i == 0
+            || matches!(
+                bytes[i - 1],
+                b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^'
+            )
+        {
+            continue;
+        }
+        // Walk back over `ident` and require a statement boundary before it.
+        let mut j = i;
+        while j > range.start && bytes[j - 1].is_ascii_whitespace() {
+            j -= 1;
+        }
+        let name_end = j;
+        while j > range.start && is_ident_byte(bytes[j - 1]) {
+            j -= 1;
+        }
+        if j == name_end {
+            continue;
+        }
+        let name = &cleaned[j..name_end];
+        let mut k = j;
+        while k > range.start && bytes[k - 1].is_ascii_whitespace() {
+            k -= 1;
+        }
+        if k > range.start && !matches!(bytes[k - 1], b';' | b'{' | b'}') {
+            continue;
+        }
+        let stmt_end = stmt_end(cleaned, i, range.end);
+        out.push(BindEvent {
+            pos: j,
+            stmt_end,
+            names: vec![name.to_string()],
+            rhs: (i + 1, stmt_end.saturating_sub(1).max(i + 1)),
+        });
+    }
+    out
+}
+
+/// Classifies the token context of an identifier occurrence as a flagged use.
+fn classify_use(cleaned: &str, pos: usize, end: usize) -> Option<&'static str> {
+    let rest = &cleaned[end..];
+    if rest.starts_with('[') {
+        return Some("indexed");
+    }
+    if rest.starts_with(".iter()")
+        || rest.starts_with(".iter_mut()")
+        || rest.starts_with(".into_iter()")
+    {
+        return Some("iterated");
+    }
+    if rest.starts_with(".sort") {
+        return Some("sorted in place");
+    }
+    // `for … in [&[mut ]]name`
+    let bytes = cleaned.as_bytes();
+    let mut j = pos;
+    loop {
+        while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+            j -= 1;
+        }
+        if j > 0 && bytes[j - 1] == b'&' {
+            j -= 1;
+        } else if j >= 3 && &cleaned[j - 3..j] == "mut" && (j == 3 || !is_ident_byte(bytes[j - 4]))
+        {
+            j -= 3;
+        } else {
+            break;
+        }
+    }
+    while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    if j >= 2 && &cleaned[j - 2..j] == "in" && (j == 2 || !is_ident_byte(bytes[j - 3])) {
+        return Some("iterated");
+    }
+    None
+}
+
+/// Exclusive end of the statement containing/starting at `pos`: past the
+/// first `;` outside nesting, or at the `}` closing the enclosing scope.
+fn stmt_end(cleaned: &str, pos: usize, limit: usize) -> usize {
+    let bytes = cleaned.as_bytes();
+    let mut paren = 0usize;
+    let mut brace = 0usize;
+    let mut i = pos;
+    while i < limit {
+        match bytes[i] {
+            b'(' | b'[' => paren += 1,
+            b')' | b']' => paren = paren.saturating_sub(1),
+            b'{' if paren == 0 => brace += 1,
+            b'}' if paren == 0 => {
+                if brace == 0 {
+                    return i;
+                }
+                brace -= 1;
+            }
+            b';' if paren == 0 && brace == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// The parameter-list text of `f`'s signature (between the first `(` after
+/// the `fn` keyword and its matching `)`), empty for malformed input.
+pub(crate) fn signature_params<'a>(cleaned: &'a str, f: &FnInfo) -> &'a str {
+    let sig = &cleaned[f.sig_start..f.body.start.min(cleaned.len())];
+    let Some(open) = sig.find('(') else {
+        return "";
+    };
+    let bytes = sig.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &sig[open + 1..i];
+                }
+            }
+            _ => {}
+        }
+    }
+    &sig[open + 1..]
+}
+
+/// Word-bounded occurrences of `word` within `range` of `cleaned`.
+fn find_word(cleaned: &str, range: std::ops::Range<usize>, word: &str) -> Vec<usize> {
+    let bytes = cleaned.as_bytes();
+    let mut out = Vec::new();
+    let mut from = range.start;
+    while from < range.end {
+        let Some(rel) = cleaned[from..range.end].find(word) else {
+            break;
+        };
+        let pos = from + rel;
+        from = pos + 1;
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let end = pos + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uses(src: &str) -> Vec<(String, &'static str)> {
+        let view = SourceView::parse(src);
+        let analysis = Analysis::scan(&view);
+        tainted_uses(&view, &analysis)
+            .into_iter()
+            .map(|u| (u.name, u.how))
+            .collect()
+    }
+
+    #[test]
+    fn load_then_sort_without_lease_is_flagged() {
+        let src = "fn f(xs: &ExtVec<u32>) {\n    let mut buf = xs.load_all();\n    buf.sort_unstable();\n}\n";
+        assert_eq!(uses(src), vec![("buf".to_string(), "sorted in place")]);
+    }
+
+    #[test]
+    fn live_lease_covers_later_uses_but_not_earlier_ones() {
+        let ok = "fn f(m: &Machine, xs: &ExtVec<u32>) {\n    let _l = m.gauge().lease(8);\n    let buf = xs.load_all();\n    for x in &buf { use_it(x); }\n}\n";
+        assert!(uses(ok).is_empty());
+        let bad = "fn f(m: &Machine, xs: &ExtVec<u32>) {\n    let mut buf = xs.load_all();\n    buf.sort_unstable();\n    let _l = m.gauge().lease(8);\n}\n";
+        assert_eq!(
+            uses(bad).len(),
+            1,
+            "a lease created after the use must not cover it"
+        );
+    }
+
+    #[test]
+    fn taint_propagates_through_moves_and_clones() {
+        let src = "fn f(xs: &ExtVec<u32>) {\n    let buf = xs.load_all();\n    let moved = buf;\n    let cloned = moved.clone();\n    let x = cloned[0];\n}\n";
+        assert_eq!(uses(src), vec![("cloned".to_string(), "indexed")]);
+    }
+
+    #[test]
+    fn rebinding_to_a_fresh_value_clears_taint() {
+        let src = "fn f(xs: &ExtVec<u32>) {\n    let mut buf = xs.load_all();\n    buf = fresh();\n    let x = buf[0];\n}\n";
+        assert!(uses(src).is_empty());
+    }
+
+    #[test]
+    fn memlease_param_covers_the_whole_body() {
+        let src = "fn helper(lease: &mut MemLease, xs: &ExtVec<u32>) {\n    let buf = xs.load_all();\n    let x = buf[0];\n}\n";
+        assert!(uses(src).is_empty());
+    }
+
+    #[test]
+    fn dropping_the_lease_revokes_coverage() {
+        let src = "fn f(m: &Machine, xs: &ExtVec<u32>) {\n    let guard = m.gauge().lease(8);\n    let buf = xs.load_all();\n    drop(guard);\n    let x = buf[0];\n}\n";
+        assert_eq!(uses(src), vec![("buf".to_string(), "indexed")]);
+    }
+
+    #[test]
+    fn tuple_bound_lease_names_count_as_live() {
+        let src = "fn f(p: &Pivots) {\n    let (chunk, lease) = p.load_chunk();\n    let buf = chunk.edges.load_all();\n    for e in &buf { g(e); }\n}\n";
+        assert!(uses(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t(xs: &ExtVec<u32>) {\n        let buf = xs.load_all();\n        buf.sort_unstable();\n    }\n}\n";
+        assert!(uses(src).is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the blanked code view: every rule's byte-offset
+//! arithmetic (line lookup, waiver/charge targeting, scope spans) assumes
+//! that `SourceView::parse` replaces comment/string/char contents without
+//! moving anything. These properties pin that down over random interleavings
+//! of code, comments, string literals (raw, escaped, multi-line), char
+//! literals, lifetimes, and non-ASCII text.
+
+use emlint::source::SourceView;
+use proptest::prelude::*;
+
+/// Source fragments the generator interleaves. Deliberately adversarial:
+/// comment markers inside strings, quotes inside comments, nested block
+/// comments, raw strings spanning lines, non-ASCII in both code-adjacent
+/// and blanked positions.
+const FRAGMENTS: &[&str] = &[
+    "fn f(machine: &Machine) {\n",
+    "    let x = 1;\n",
+    "}\n",
+    "// emlint: allow(unleased, reason = \"scratch\")\n",
+    "// plain comment mentioning .load_all() and vec![9]\n",
+    "/* block /* nested */ comment */\n",
+    "let s = \"string with // not a comment and \\\" escape\";\n",
+    "let r = r#\"raw \"quoted\" text\nspanning a line\"#;\n",
+    "let c = 'x';\n",
+    "let nl = '\\n';\n",
+    "fn g<'a>(xs: &'a [u64]) -> &'a [u64] { xs }\n",
+    "let unicode = \"héllo → wörld\";\n",
+    "// cömment with non-ASCII émlint text\n",
+    "machine.work(n as u64);\n",
+    "let v = vec![1, 2, 3];\n",
+    "\n",
+];
+
+/// Joins a random selection of fragments into one source text.
+fn compose(picks: &[usize]) -> String {
+    picks.iter().map(|&i| FRAGMENTS[i]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn blanking_preserves_char_offsets_and_line_structure(
+        picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..40),
+    ) {
+        let src = compose(&picks);
+        let view = SourceView::parse(&src);
+
+        // One cleaned char per source char, and all of them ASCII — so byte
+        // offsets into `cleaned` are also char offsets into the source.
+        prop_assert!(view.cleaned.is_ascii());
+        prop_assert_eq!(view.cleaned.chars().count(), src.chars().count());
+
+        // Each position is either untouched or blanked in place (space, or
+        // `~` for non-ASCII in code position); newlines survive exactly.
+        for (c_src, c_clean) in src.chars().zip(view.cleaned.chars()) {
+            prop_assert!(
+                c_clean == c_src || c_clean == ' ' || c_clean == '~',
+                "char {c_src:?} blanked to {c_clean:?}"
+            );
+            prop_assert_eq!(c_src == '\n', c_clean == '\n');
+        }
+
+        // `line_starts` is exactly [0, every offset following a newline].
+        let expected: Vec<usize> = std::iter::once(0)
+            .chain(
+                view.cleaned
+                    .bytes()
+                    .enumerate()
+                    .filter(|&(_, b)| b == b'\n')
+                    .map(|(o, _)| o + 1),
+            )
+            .collect();
+        prop_assert_eq!(&view.line_starts, &expected);
+
+        // `line_of` and `cleaned_line` agree with that table: each line
+        // start maps to its own 1-based line, and the per-line views
+        // reassemble the whole cleaned text.
+        for (k, &start) in view.line_starts.iter().enumerate() {
+            if start < view.cleaned.len() {
+                prop_assert_eq!(view.line_of(start), k + 1);
+            }
+        }
+        let rejoined = (1..=view.line_starts.len())
+            .map(|l| view.cleaned_line(l))
+            .collect::<Vec<_>>()
+            .join("\n");
+        prop_assert_eq!(rejoined, view.cleaned.clone());
+    }
+}

@@ -6,9 +6,17 @@
 
 use std::path::Path;
 
-use emlint::{check_file, lint_workspace, Config, Rule};
+use emlint::{check_file, check_file_with_summaries, lint_workspace, Config, Rule, Summaries};
 
-const ALL: &[Rule] = &[Rule::R1, Rule::R2, Rule::R3, Rule::R4];
+const ALL: &[Rule] = &[
+    Rule::R1,
+    Rule::R2,
+    Rule::R3,
+    Rule::R4,
+    Rule::R5,
+    Rule::R6,
+    Rule::R7,
+];
 
 fn fixture_root() -> &'static Path {
     Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures"))
@@ -18,6 +26,17 @@ fn fixture_root() -> &'static Path {
 fn check(rel: &str) -> Vec<(usize, &'static str)> {
     let text = std::fs::read_to_string(fixture_root().join(rel)).unwrap();
     check_file(rel, &text, ALL)
+        .into_iter()
+        .map(|f| (f.line, f.rule.id()))
+        .collect()
+}
+
+/// Like [`check`], with lease summaries built from the fixture itself so
+/// R7's inter-procedural half runs.
+fn check_with_summaries(rel: &str) -> Vec<(usize, &'static str)> {
+    let text = std::fs::read_to_string(fixture_root().join(rel)).unwrap();
+    let summaries = Summaries::build([(rel, text.as_str())]);
+    check_file_with_summaries(rel, &text, ALL, Some(&summaries))
         .into_iter()
         .map(|f| (f.line, f.rule.id()))
         .collect()
@@ -74,9 +93,55 @@ fn stale_waiver_fixture_is_an_error() {
 }
 
 #[test]
+fn r5_tainted_fixture_reports_exact_lines() {
+    // Line 7: indexed before the lease lands; line 17: iterated after
+    // drop(guard); line 29: indexed after the lease's scope closed.
+    assert_eq!(
+        check("violations/tainted.rs"),
+        vec![(7, "R5"), (17, "R5"), (29, "R5")]
+    );
+}
+
+#[test]
+fn r6_uncharged_work_fixture_reports_exact_lines() {
+    let text =
+        std::fs::read_to_string(fixture_root().join("violations/uncharged_work.rs")).unwrap();
+    let findings = check_file("violations/uncharged_work.rs", &text, ALL);
+    let lines: Vec<(usize, &str)> = findings.iter().map(|f| (f.line, f.rule.id())).collect();
+    // The unknown-kind charge on line 10 suppresses nothing, so its sort on
+    // line 11 still fires R2.
+    assert_eq!(
+        lines,
+        vec![(5, "R6"), (10, "R6"), (11, "R2"), (16, "R6"), (20, "R6")]
+    );
+    assert!(findings[0].message.contains("unbacked"));
+    assert!(findings[1].message.contains("unknown charge kind"));
+    assert!(findings[3].message.contains("stale charge"));
+    assert!(findings[4].message.contains("malformed"));
+}
+
+#[test]
+fn r7_lease_summary_fixture_reports_the_call_line() {
+    let rel = "violations/lease_summary.rs";
+    let text = std::fs::read_to_string(fixture_root().join(rel)).unwrap();
+    let summaries = Summaries::build([(rel, text.as_str())]);
+    let findings = check_file_with_summaries(rel, &text, ALL, Some(&summaries));
+    let lines: Vec<(usize, &str)> = findings.iter().map(|f| (f.line, f.rule.id())).collect();
+    assert_eq!(lines, vec![(11, "R7")]);
+    assert!(findings[0].message.contains("`fill_under_callers_lease`"));
+    assert!(findings[0].message.contains("`forgets_the_context`"));
+}
+
+#[test]
 fn clean_fixtures_produce_no_findings() {
     assert_eq!(check("clean/leased.rs"), vec![]);
     assert_eq!(check("clean/lib.rs"), vec![]);
+    assert_eq!(check("clean/tainted_ok.rs"), vec![]);
+    assert_eq!(check("clean/charged_work.rs"), vec![]);
+    assert_eq!(check("clean/wrapped_waiver.rs"), vec![]);
+    // The helper's allocation is owned by its leased caller — clean only
+    // once the summary pass runs (as it does in every workspace lint).
+    assert_eq!(check_with_summaries("clean/lease_summary.rs"), vec![]);
 }
 
 #[test]
@@ -96,14 +161,16 @@ fn findings_render_as_file_line_rule_slug() {
 
 #[test]
 fn workspace_walk_honours_scopes_and_is_deterministic() {
-    let config = Config::parse(
-        "[[scope]]\npath = \"violations\"\nrules = [\"R1\", \"R2\", \"R3\", \"R4\"]\n\n[[scope]]\npath = \"clean\"\nrules = [\"R1\", \"R2\", \"R3\", \"R4\"]\n",
-    )
+    let rules = "rules = [\"R1\", \"R2\", \"R3\", \"R4\", \"R5\", \"R6\", \"R7\"]";
+    let config = Config::parse(&format!(
+        "[[scope]]\npath = \"violations\"\n{rules}\n\n[[scope]]\npath = \"clean\"\n{rules}\n"
+    ))
     .unwrap();
     let findings = lint_workspace(fixture_root(), &config).unwrap();
     // 3 (unleased) + 3 (uncharged_std) + 2 (uncharged_probe) + 4 (hygiene)
-    // + 1 (stale_waiver), none from clean/.
-    assert_eq!(findings.len(), 13);
+    // + 1 (stale_waiver) + 3 (tainted) + 5 (uncharged_work) + 1
+    // (lease_summary), none from clean/.
+    assert_eq!(findings.len(), 22);
     assert!(findings.iter().all(|f| f.file.starts_with("violations/")));
     let again = lint_workspace(fixture_root(), &config).unwrap();
     let key = |fs: &[emlint::Finding]| {

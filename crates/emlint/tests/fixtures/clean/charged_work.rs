@@ -1,0 +1,18 @@
+// Clean R6 fixture: every charge annotation is backed by a `.work(…)` call
+// with the identical (whitespace-normalised) expression in the same block,
+// so the sorts below are accounted for and the annotations verify.
+
+pub fn charged_sort(machine: &Machine, xs: &mut Vec<u64>) {
+    machine.work(xs.len() as u64 * 6);
+    // emlint: charge(work, xs.len() as u64 * 6)
+    xs.sort_unstable();
+}
+
+pub fn charge_covers_a_wrapped_statement(machine: &Machine, xs: &mut Vec<u64>) {
+    machine.work(xs.len() as u64);
+    // emlint: charge(work, xs.len() as u64)
+    xs.sort_unstable_by_key(|x| {
+        let key = x / 2;
+        key
+    });
+}

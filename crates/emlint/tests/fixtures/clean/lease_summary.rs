@@ -1,0 +1,12 @@
+// Clean R7 fixture: the helper's only call site holds a lease, so the
+// workspace summary pass attributes its allocation to the caller's lease
+// and no waiver is needed inside the helper.
+
+fn scratch_for_caller(n: usize) -> Vec<u64> {
+    Vec::with_capacity(n)
+}
+
+pub fn leased_entry(machine: &Machine, n: usize) -> Vec<u64> {
+    let _lease = machine.gauge().lease(n as u64);
+    scratch_for_caller(n)
+}

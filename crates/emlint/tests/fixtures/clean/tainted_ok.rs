@@ -1,0 +1,25 @@
+// Clean R5 fixture: a lease is live at every use of materialised data, or
+// the use carries an explicit tainted-materialisation waiver.
+
+pub fn lease_precedes_every_use(machine: &Machine, ev: &ExtVec<u64>) -> u64 {
+    let _lease = machine.gauge().lease(ev.len() as u64);
+    let buf = ev.load_all();
+    let mut acc = 0;
+    for x in &buf {
+        acc += x;
+    }
+    acc
+}
+
+pub fn caller_holds_the_words(lease: &mut MemLease, ev: &ExtVec<u64>) -> u64 {
+    let buf = ev.load_all();
+    buf[0]
+}
+
+pub fn waived_probe(machine: &Machine, ev: &ExtVec<u64>) -> u64 {
+    let buf = ev.load_all();
+    // emlint: allow(tainted-materialisation, reason = "fixture: O(1) probe before the lease lands")
+    let first = buf[0];
+    let _lease = machine.gauge().lease(buf.len() as u64);
+    first
+}

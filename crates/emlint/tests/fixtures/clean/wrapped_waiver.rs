@@ -1,0 +1,12 @@
+// Clean fixture: an own-line waiver covers every physical line of the
+// rustfmt-wrapped statement below it, including the `.collect()` that
+// landed three lines down.
+
+pub fn wrapped(xs: &[u64]) -> Vec<u64> {
+    // emlint: allow(unleased, reason = "fixture: bounded scratch returned to the caller")
+    let doubled: Vec<u64> = xs
+        .iter()
+        .map(|x| x * 2)
+        .collect();
+    doubled
+}

@@ -1,0 +1,12 @@
+// R7 fixture: a helper that charges its buffer to a caller-provided
+// MemLease, called from a function with no leased context of its own. The
+// finding lands on the call line, not inside the helper.
+
+fn fill_under_callers_lease(lease: &mut MemLease, n: usize) -> Vec<u64> {
+    lease.grow(n as u64);
+    Vec::with_capacity(n)
+}
+
+pub fn forgets_the_context(n: usize) -> Vec<u64> {
+    fill_under_callers_lease(detached(), n)
+}

@@ -1,0 +1,30 @@
+// R5 fixture: flow-unsound uses R1/R3 cannot see. Every fn here mentions
+// lease machinery somewhere (so the scope-level heuristic is satisfied),
+// just not where the materialised buffer is actually used.
+
+pub fn lease_after_use(machine: &Machine, ev: &ExtVec<u64>) -> u64 {
+    let buf = ev.load_all();
+    let first = buf[0];
+    let _lease = machine.gauge().lease(buf.len() as u64);
+    first
+}
+
+pub fn revoked_by_drop(machine: &Machine, ev: &ExtVec<u64>) -> u64 {
+    let guard = machine.gauge().lease(ev.len() as u64);
+    let buf = ev.load_all();
+    drop(guard);
+    let mut acc = 0;
+    for x in &buf {
+        acc += x;
+    }
+    acc
+}
+
+pub fn taint_outlives_the_lease_scope(machine: &Machine, ev: &ExtVec<u64>) -> u64 {
+    let mut escaped = Vec::new();
+    if ev.len() > 0 {
+        let _lease = machine.gauge().lease(ev.len() as u64);
+        escaped = ev.load_all();
+    }
+    escaped[7]
+}

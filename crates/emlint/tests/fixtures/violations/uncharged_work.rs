@@ -1,0 +1,21 @@
+// R6 fixture: charge-annotation rot. Charges are process errors when they
+// cannot be verified, and (unlike waivers) they are never waivable.
+
+pub fn unbacked(xs: &mut Vec<u64>) {
+    // emlint: charge(work, xs.len() as u64)
+    xs.sort_unstable();
+}
+
+pub fn unknown_kind(xs: &mut Vec<u64>) {
+    // emlint: charge(io, xs.len() as u64)
+    xs.sort_unstable();
+}
+
+pub fn stale(machine: &Machine) {
+    machine.work(1);
+    // emlint: charge(work, 1)
+    let count = 1;
+}
+
+// emlint: charge(work)
+pub fn malformed_annotation() {}

@@ -56,10 +56,32 @@ struct LiveLease {
 struct GaugeInner {
     in_use: u64,
     peak: u64,
+    /// Peak since the last [`MemGauge::snapshot_phase`] (or gauge creation);
+    /// the run-wide `peak` is never reset by phase snapshots.
+    phase_peak: u64,
     #[cfg(feature = "gauge-audit")]
     next_lease_id: u64,
     #[cfg(feature = "gauge-audit")]
     live: BTreeMap<u64, LiveLease>,
+}
+
+/// Gauge state captured at a phase boundary by [`MemGauge::snapshot_phase`]:
+/// the peak usage attributable to the phase just ended, plus what was still
+/// resident when the phase ended. The experiment harness serialises these
+/// into the per-phase peak tables of the `BENCH_E*.json` records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// Name of the phase that just ended.
+    pub name: String,
+    /// Peak registered words between the previous snapshot (or gauge
+    /// creation) and this one.
+    pub peak_words: u64,
+    /// Words still registered when the snapshot was taken — buffers that
+    /// outlive the phase, e.g. a summary carried into the next phase.
+    pub live_words: u64,
+    /// Leases still registered at snapshot time as `(tag, words)` pairs.
+    /// Populated only under the `gauge-audit` feature; empty otherwise.
+    pub live_leases: Vec<(String, u64)>,
 }
 
 impl GaugeInner {
@@ -148,6 +170,7 @@ impl MemGauge {
             let mut g = self.inner.borrow_mut();
             g.in_use += words;
             g.peak = g.peak.max(g.in_use);
+            g.phase_peak = g.phase_peak.max(g.in_use);
             #[cfg(feature = "gauge-audit")]
             {
                 id = g.next_lease_id;
@@ -180,6 +203,26 @@ impl MemGauge {
     pub fn reset_peak(&self) {
         let mut g = self.inner.borrow_mut();
         g.peak = g.in_use;
+        g.phase_peak = g.in_use;
+    }
+
+    /// Closes the current accounting phase: returns a [`PhaseSnapshot`] with
+    /// the peak usage since the previous snapshot (or gauge creation) and the
+    /// still-registered leases, then restarts the phase window at the current
+    /// usage. The run-wide [`MemGauge::peak`] is unaffected.
+    pub fn snapshot_phase(&self, name: &str) -> PhaseSnapshot {
+        let mut g = self.inner.borrow_mut();
+        let snap = PhaseSnapshot {
+            name: name.to_string(),
+            peak_words: g.phase_peak.max(g.in_use),
+            live_words: g.in_use,
+            #[cfg(feature = "gauge-audit")]
+            live_leases: g.live.values().map(|l| (l.tag.clone(), l.words)).collect(),
+            #[cfg(not(feature = "gauge-audit"))]
+            live_leases: Vec::new(),
+        };
+        g.phase_peak = g.in_use;
+        snap
     }
 
     /// The `(creation-site tag, words)` of every lease currently registered,
@@ -230,6 +273,7 @@ impl MemLease {
             let mut g = inner.borrow_mut();
             g.in_use += extra;
             g.peak = g.peak.max(g.in_use);
+            g.phase_peak = g.phase_peak.max(g.in_use);
         }
         self.words += extra;
         self.sync_registry();
@@ -341,6 +385,47 @@ mod tests {
         assert_eq!(g.peak(), 1040);
         g.reset_peak();
         assert_eq!(g.peak(), 40);
+    }
+
+    #[test]
+    fn phase_snapshots_window_the_peak_without_touching_the_run_peak() {
+        let g = MemGauge::new();
+        let keep = g.lease(40);
+        {
+            let _spike = g.lease(1000);
+        }
+        let p1 = g.snapshot_phase("build");
+        assert_eq!(p1.name, "build");
+        assert_eq!(p1.peak_words, 1040);
+        assert_eq!(p1.live_words, 40);
+
+        // The next phase's window starts at the current usage, so a smaller
+        // spike is visible instead of being shadowed by the first phase.
+        {
+            let _small = g.lease(10);
+        }
+        let p2 = g.snapshot_phase("enumerate");
+        assert_eq!(p2.peak_words, 50);
+        assert_eq!(p2.live_words, 40);
+
+        // A phase that allocates nothing still reports the carried words.
+        let p3 = g.snapshot_phase("drain");
+        assert_eq!(p3.peak_words, 40);
+
+        assert_eq!(g.peak(), 1040, "run-wide peak must survive snapshots");
+        drop(keep);
+    }
+
+    #[cfg(feature = "gauge-audit")]
+    #[test]
+    fn phase_snapshots_name_the_surviving_leases() {
+        let g = MemGauge::new();
+        let _held = g.lease_tagged(25, "carried summary");
+        {
+            let _tmp = g.lease_tagged(100, "scratch");
+        }
+        let p = g.snapshot_phase("build");
+        assert_eq!(p.live_leases, vec![("carried summary".to_string(), 25)]);
     }
 
     #[test]

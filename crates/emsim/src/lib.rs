@@ -70,7 +70,7 @@ mod stats;
 
 pub use config::EmConfig;
 pub use extvec::{ExtSlice, ExtVec, ScanReader};
-pub use gauge::{MemGauge, MemLease};
+pub use gauge::{MemGauge, MemLease, PhaseSnapshot};
 pub use machine::Machine;
 pub use record::Record;
 pub use stats::{IoStats, RunStats};
