@@ -236,6 +236,47 @@ fn main() {
         write_record(&json_dir, "e8", title, &rows, &[], &[], &mut failures);
     }
 
+    if want("e9") {
+        let outcome = experiment_e9(quick);
+        let title = "E9: chaos — crash sweep, retry/backoff, checkpoint/resume (M=1024, B=32)";
+        // The control row and the sweep rows have different columns, so they
+        // render as separate tables (the JSON record keeps them together).
+        println!("{}", render_table(title, &outcome.rows[..1]));
+        println!(
+            "{}",
+            render_table(
+                "E9: crash sweep (one row per injected crash point)",
+                &outcome.rows[1..]
+            )
+        );
+        // The chaos gates (wired into CI through the dedicated chaos job):
+        // every injected crash point must resume to the reference run's
+        // exact triangle multiset with exactly-once delivery, bounded
+        // retries, no leaked leases, and recovery I/O within the budget —
+        // and the fault layer must cost nothing when unused.
+        for gate in &outcome.gates {
+            match gate.passed {
+                true => println!("{} gate: {}", gate.name, gate.detail),
+                false => failures.push(format!("E9 {} gate: {}", gate.name, gate.detail)),
+            }
+        }
+        write_record(
+            &json_dir,
+            "e9",
+            title,
+            &outcome.rows,
+            &[],
+            &outcome.gates,
+            &mut failures,
+        );
+        if let Some(dir) = &json_dir {
+            match write_fault_trace_record(dir, &outcome.fault_trace) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(err) => failures.push(format!("writing the e9 fault trace: {err}")),
+            }
+        }
+    }
+
     if !failures.is_empty() {
         for failure in &failures {
             eprintln!("gate FAILED: {failure}");

@@ -13,10 +13,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use emsim::{EmConfig, PhaseSnapshot};
+use emsim::{CrashPoint, EmConfig, FaultEvent, FaultPlan, Machine, PhaseSnapshot, RetryPolicy};
 use graphgen::{generators, naive, Graph};
+use trienum::checkpoint::atomic_write;
 use trienum::lower_bound::LowerBound;
-use trienum::{count_triangles, measure_random_coloring_balance, Algorithm, ExtGraph, RunReport};
+use trienum::{
+    count_triangles, enumerate_triangles_with_recovery, measure_random_coloring_balance,
+    resume_enumeration, Algorithm, Checkpoint, CheckpointSpec, CollectingSink, ExtGraph, RunReport,
+};
 
 /// One row of an experiment table: a label plus named numeric columns.
 #[derive(Debug, Clone)]
@@ -698,9 +702,11 @@ pub fn write_experiment_record(
 ) -> std::io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("BENCH_{}.json", experiment.to_uppercase()));
-    std::fs::write(
+    // Atomic (temp + rename): a crashed or killed `reproduce` run must never
+    // leave a truncated half-record for CI to upload as if it were real.
+    atomic_write(
         &path,
-        experiment_record_json(experiment, title, rows, phase_peaks, gates),
+        experiment_record_json(experiment, title, rows, phase_peaks, gates).as_bytes(),
     )?;
     Ok(path)
 }
@@ -725,6 +731,390 @@ pub fn experiment_e8(e: usize, trials: u64) -> Vec<Row> {
         .col("max X", max)
         .col("E*M bound", bound)
         .col("mean/bound", mean / bound)]
+}
+
+/// Transient-fault rates injected by the E9 chaos sweep, in ‰ per attempt.
+///
+/// High enough that every chaos run exercises the bounded-retry loop dozens
+/// of times, low enough that exhausting the retry budget (the point where a
+/// transient fault escalates to a permanent [`emsim::StorageError`] and
+/// aborts the run) is effectively impossible: at 25‰ per attempt and six
+/// attempts, `0.025^6 ≈ 2.4·10⁻¹⁰` per transfer.
+pub const E9_READ_FAULT_PER_MILLE: u32 = 25;
+
+/// Torn-write rate of the E9 sweep; see [`E9_READ_FAULT_PER_MILLE`].
+pub const E9_TORN_WRITE_PER_MILLE: u32 = 20;
+
+/// Retry policy of the E9 sweep: up to six attempts per transfer, simulated
+/// exponential backoff starting at 8 work units.
+pub fn e9_retry_policy() -> RetryPolicy {
+    RetryPolicy::new(6, 8)
+}
+
+/// Ceiling on `retry_io / io` for every E9 run: the fraction of all charged
+/// block transfers that were retry re-attempts. At the injected rates
+/// ([`E9_READ_FAULT_PER_MILLE`], [`E9_TORN_WRITE_PER_MILLE`]) the expected
+/// fraction is ≈ 2.3%, so 10% gives ~4× headroom while still catching a
+/// retry storm (a storage layer that re-reads whole segments instead of the
+/// single failed block, or a backoff loop that stops converging).
+pub const E9_RETRY_IO_FRACTION_CEILING: f64 = 0.10;
+
+/// Ceiling on the E9 recovery I/O overhead: for each injected crash point,
+/// `(crashed run transfers + resumed run transfers) / fault-free transfers`.
+///
+/// Recorded 2026-08-08 when the checkpoint/resume machinery landed: the
+/// sweep's worst point measures 1.73 at the `--quick` size and 1.57 at the
+/// full size (a crash shortly after a checkpoint: the crashed run has paid
+/// for work the checkpoint does not capture, and the resume replays the
+/// graph-load preamble, the frontier-rebuild filter scans and everything
+/// past the last checkpoint), with sweep means near 1.5 and 1.4. A
+/// regression that loses the checkpoint frontier — forcing a late crash to
+/// restart from scratch — costs ~2× at the worst point and trips the gate;
+/// honest noise is zero, the runs are fully deterministic.
+pub const E9_RECOVERY_IO_OVERHEAD_CEILING: f64 = 2.0;
+
+/// Checks an E9 table against [`E9_RECOVERY_IO_OVERHEAD_CEILING`]; returns
+/// a description of the first offending crash point, if any. Rows without
+/// an `overhead` column (the zero-fault control) are skipped.
+pub fn check_e9_recovery_overhead(rows: &[Row]) -> Result<(), String> {
+    for row in rows {
+        for (name, v) in &row.values {
+            if name == "overhead" && *v > E9_RECOVERY_IO_OVERHEAD_CEILING {
+                return Err(format!(
+                    "row '{}': recovery overhead = {v:.2} exceeds the recorded ceiling \
+                     {E9_RECOVERY_IO_OVERHEAD_CEILING}",
+                    row.label
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks an E9 table against [`E9_RETRY_IO_FRACTION_CEILING`]; returns a
+/// description of the first offending run, if any.
+pub fn check_e9_retry_fraction(rows: &[Row]) -> Result<(), String> {
+    for row in rows {
+        for (name, v) in &row.values {
+            if name == "retry_frac" && *v > E9_RETRY_IO_FRACTION_CEILING {
+                return Err(format!(
+                    "row '{}': retry_frac = {v:.4} exceeds the recorded ceiling \
+                     {E9_RETRY_IO_FRACTION_CEILING}",
+                    row.label
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Everything the E9 chaos sweep produced.
+pub struct E9Outcome {
+    /// One zero-fault control row plus one row per injected crash point.
+    pub rows: Vec<Row>,
+    /// Gate verdicts: exactness, zero-fault cost parity, retry bound,
+    /// recovery overhead, gauge leaks.
+    pub gates: Vec<GateOutcome>,
+    /// Fault trace of the mid-sweep crashed run and its resume (written to
+    /// `E9_FAULT_TRACE.json` by `reproduce --json`).
+    pub fault_trace: Vec<FaultEvent>,
+}
+
+/// Installs (once) a panic hook that swallows the [`CrashPoint`] payloads
+/// the chaos sweep raises on purpose; every other panic still reaches the
+/// previously installed hook, so real failures stay loud.
+fn silence_simulated_crash_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashPoint>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// A unique scratch directory for one sweep's checkpoint files.
+fn e9_scratch_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("trienum-e9-{}-{n}", std::process::id()))
+}
+
+/// **E9 — chaos: fault injection, crash sweep, checkpoint/resume.** Runs the
+/// cache-oblivious algorithm once fault-free as the reference, then sweeps a
+/// `CrashAt` kill switch across the reference run's whole I/O range with
+/// transient read faults and torn writes injected throughout; each crashed
+/// run is resumed from its surviving checkpoint (or rerun from scratch if it
+/// died before the first one) and held to the reference's exact triangle
+/// multiset, bounded retry counts, a leak-free gauge and the
+/// [`E9_RECOVERY_IO_OVERHEAD_CEILING`] recovery budget.
+pub fn experiment_e9(quick: bool) -> E9Outcome {
+    let e = if quick { 2_000 } else { 4_000 };
+    let points = if quick { 8 } else { 16 };
+    e9_sweep(e, points)
+}
+
+fn e9_sweep(e: usize, points: u64) -> E9Outcome {
+    silence_simulated_crash_panics();
+    let cfg = EmConfig::new(1 << 10, 32);
+    let seed = 0xA11CE;
+    let g = generators::erdos_renyi(e / 8, e, 9);
+    let scratch = e9_scratch_dir();
+    std::fs::create_dir_all(&scratch).expect("creating the E9 scratch directory");
+
+    // Reference run: fault-free, no checkpointing. Its multiset is the
+    // oracle every chaos run must reproduce bit-identically, and its
+    // transfer count is the denominator of the recovery-overhead metric.
+    let reference = Machine::new(cfg);
+    let mut oracle_sink = CollectingSink::new();
+    let ref_report =
+        enumerate_triangles_with_recovery(&g, &reference, seed, &mut oracle_sink, None);
+    let ref_transfers = reference.transfers();
+    let run_io = ref_report.io.total();
+    // `CrashAt` counts charged transfers from machine creation, so crash
+    // coordinates must be offset past the graph-load preamble.
+    let preamble = ref_transfers - run_io;
+    let mut oracle = oracle_sink.into_triangles();
+    oracle.sort_unstable();
+    assert_eq!(
+        oracle.len() as u64,
+        naive::count_triangles(&g),
+        "the E9 reference run disagrees with the in-memory oracle"
+    );
+
+    // Zero-fault control: the recovery entry point on a default machine must
+    // cost exactly what the plain driver costs — the fault/checkpoint layer
+    // is pay-for-what-you-use.
+    let plain = run(&g, Algorithm::CacheObliviousRandomized { seed }, cfg);
+    let ref_retry_io = ref_report.extra("retry_io").unwrap_or(f64::NAN);
+    let zero_fault = if plain.io.total() != ref_report.io.total() {
+        Err(format!(
+            "zero-fault recovery run cost {} I/Os, the plain driver {} — the fault layer \
+             must be free when unused",
+            ref_report.io.total(),
+            plain.io.total()
+        ))
+    } else if plain.triangles != ref_report.triangles {
+        Err(format!(
+            "zero-fault recovery run found {} triangles, the plain driver {}",
+            ref_report.triangles, plain.triangles
+        ))
+    } else if ref_retry_io != 0.0 {
+        Err(format!(
+            "zero-fault recovery run charged retry_io = {ref_retry_io}, expected 0"
+        ))
+    } else {
+        Ok(())
+    };
+
+    let mut rows = vec![Row::new("zero-fault control")
+        .col("io", ref_report.io.total() as f64)
+        .col("plain_io", plain.io.total() as f64)
+        .col("triangles", ref_report.triangles as f64)
+        .col("retry_io", ref_retry_io)];
+
+    let interval_io = (run_io / 6).max(1);
+    let mut exactness: Result<(), String> = Ok(());
+    let mut gauges: Result<(), String> = Ok(());
+    let mut permanents: Result<(), String> = Ok(());
+    let mut fault_trace: Vec<FaultEvent> = Vec::new();
+    let record = |slot: &mut Result<(), String>, err: String| {
+        if slot.is_ok() {
+            *slot = Err(err);
+        }
+    };
+
+    for k in 0..points {
+        let crash_at = preamble + run_io * (k + 1) / (points + 1);
+        let ckpt_path = scratch.join(format!("crash-{k}.ckpt"));
+        let spec = CheckpointSpec {
+            path: ckpt_path.clone(),
+            interval_io,
+        };
+        let plan = FaultPlan::new(0xE9_0000 + k)
+            .with_read_faults(E9_READ_FAULT_PER_MILLE)
+            .with_torn_writes(E9_TORN_WRITE_PER_MILLE)
+            .with_retry(e9_retry_policy())
+            .with_crash_at(crash_at);
+        let crashed_machine = Machine::with_faults(cfg, plan);
+        let mut collected = CollectingSink::new();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            enumerate_triangles_with_recovery(
+                &g,
+                &crashed_machine,
+                seed,
+                &mut collected,
+                Some(&spec),
+            )
+        }));
+        let payload = match outcome {
+            Ok(_) => {
+                record(
+                    &mut exactness,
+                    format!("crash@{crash_at}: the kill switch never fired"),
+                );
+                continue;
+            }
+            Err(payload) => payload,
+        };
+        if payload.downcast_ref::<CrashPoint>().is_none() {
+            // Not a simulated crash: a real bug escaped the run. Re-raise.
+            std::panic::resume_unwind(payload);
+        }
+        let crashed_stats = crashed_machine.stats();
+        let crashed_transfers = crashed_machine.transfers();
+        if crashed_machine.gauge().in_use() != 0 {
+            record(
+                &mut gauges,
+                format!(
+                    "crash@{crash_at}: {} words still leased after unwinding the crashed run",
+                    crashed_machine.gauge().in_use()
+                ),
+            );
+        }
+
+        let resume_plan = FaultPlan::new(0x5EED_0000 + k)
+            .with_read_faults(E9_READ_FAULT_PER_MILLE)
+            .with_torn_writes(E9_TORN_WRITE_PER_MILLE)
+            .with_retry(e9_retry_policy());
+        let resume_machine = Machine::with_faults(cfg, resume_plan);
+        let resumed = ckpt_path.exists();
+        let committed = collected.len() as u64;
+        if resumed {
+            let ck = Checkpoint::load(&ckpt_path).expect("loading the surviving checkpoint");
+            if ck.hwm != committed {
+                record(
+                    &mut exactness,
+                    format!(
+                        "crash@{crash_at}: checkpoint high-water mark {} disagrees with the \
+                         {committed} triangles actually committed",
+                        ck.hwm
+                    ),
+                );
+            }
+            resume_enumeration(&g, &resume_machine, &ck, &mut collected, None);
+        } else {
+            if committed != 0 {
+                record(
+                    &mut exactness,
+                    format!(
+                        "crash@{crash_at}: {committed} triangles committed although no \
+                         checkpoint was ever written"
+                    ),
+                );
+            }
+            // Crashed before the first checkpoint: nothing durable exists,
+            // so recovery is a plain fresh run.
+            enumerate_triangles_with_recovery(&g, &resume_machine, seed, &mut collected, None);
+        }
+        let resume_stats = resume_machine.stats();
+        let resume_transfers = resume_machine.transfers();
+        if resume_machine.gauge().in_use() != 0 {
+            record(
+                &mut gauges,
+                format!(
+                    "crash@{crash_at}: {} words still leased after the resumed run",
+                    resume_machine.gauge().in_use()
+                ),
+            );
+        }
+
+        let mut got = collected.into_triangles();
+        got.sort_unstable();
+        if got != oracle {
+            record(
+                &mut exactness,
+                format!(
+                    "crash@{crash_at}: the resumed multiset ({} triangles) differs from the \
+                     reference ({})",
+                    got.len(),
+                    oracle.len()
+                ),
+            );
+        }
+        for trace in [crashed_machine.fault_trace(), resume_machine.fault_trace()] {
+            if let Some(p) = trace
+                .iter()
+                .find(|ev| ev.kind == emsim::FaultKind::Permanent)
+            {
+                record(
+                    &mut permanents,
+                    format!(
+                        "crash@{crash_at}: a transient fault at io {} escalated to permanent \
+                         ({} failed attempts) — the retry budget is mis-sized",
+                        p.io, p.failed_attempts
+                    ),
+                );
+            }
+        }
+        if k == points / 2 {
+            fault_trace = crashed_machine.fault_trace();
+            fault_trace.extend(resume_machine.fault_trace());
+        }
+
+        let total_io = crashed_stats.io.total() + resume_stats.io.total();
+        let retry_io = crashed_stats.retry_io + resume_stats.retry_io;
+        rows.push(
+            Row::new(format!("crash@{crash_at}"))
+                .col("resumed", if resumed { 1.0 } else { 0.0 })
+                .col("committed", committed as f64)
+                .col("crashed_io", crashed_transfers as f64)
+                .col("resume_io", resume_transfers as f64)
+                .col(
+                    "overhead",
+                    (crashed_transfers + resume_transfers) as f64 / ref_transfers as f64,
+                )
+                .col("retry_frac", retry_io as f64 / total_io.max(1) as f64),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let retry_check = check_e9_retry_fraction(&rows).and(permanents);
+    let overhead_check = check_e9_recovery_overhead(&rows);
+    let gates = vec![
+        GateOutcome::of("E9_EXACTLY_ONCE", &exactness),
+        GateOutcome::of("E9_ZERO_FAULT_EXACTNESS", &zero_fault),
+        GateOutcome::of("E9_RETRY_FRACTION_CEILING", &retry_check),
+        GateOutcome::of("E9_RECOVERY_IO_OVERHEAD", &overhead_check),
+        GateOutcome::of("E9_GAUGE_LEASES", &gauges),
+    ];
+    E9Outcome {
+        rows,
+        gates,
+        fault_trace,
+    }
+}
+
+/// Renders a fault trace as JSON — the `E9_FAULT_TRACE.json` record
+/// `reproduce --json <dir>` writes next to `BENCH_E9.json`.
+pub fn fault_trace_json(events: &[FaultEvent]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e9\",\n  \"events\": [\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"io\": {}, \"kind\": \"{}\", \"failed_attempts\": {}}}{}\n",
+            ev.io,
+            ev.kind.label(),
+            ev.failed_attempts,
+            if i + 1 < events.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the E9 fault trace into `dir` (atomically, like every record),
+/// returning the path written.
+pub fn write_fault_trace_record(
+    dir: &std::path::Path,
+    events: &[FaultEvent],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("E9_FAULT_TRACE.json");
+    atomic_write(&path, fault_trace_json(events).as_bytes())?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -969,6 +1359,46 @@ mod tests {
         let round = std::fs::read_to_string(&path).unwrap();
         assert_eq!(round, json);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn e9_gates_catch_regressions_and_skip_unrelated_rows() {
+        let slow_recovery = vec![Row::new("crash@500")
+            .col("overhead", E9_RECOVERY_IO_OVERHEAD_CEILING + 0.5)
+            .col("retry_frac", 0.01)];
+        let err = check_e9_recovery_overhead(&slow_recovery).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+        check_e9_retry_fraction(&slow_recovery).expect("retry fraction within ceiling");
+
+        let retry_storm = vec![Row::new("crash@500")
+            .col("overhead", 1.2)
+            .col("retry_frac", E9_RETRY_IO_FRACTION_CEILING * 5.0)];
+        let err = check_e9_retry_fraction(&retry_storm).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+        check_e9_recovery_overhead(&retry_storm).expect("overhead within ceiling");
+
+        // The zero-fault control row has neither column and is skipped.
+        let control = vec![Row::new("zero-fault control").col("io", 1.0)];
+        check_e9_recovery_overhead(&control).unwrap();
+        check_e9_retry_fraction(&control).unwrap();
+    }
+
+    #[test]
+    fn e9_chaos_sweep_is_exact_and_within_budgets() {
+        // A reduced sweep (the full --quick sweep runs in CI): three crash
+        // points over a smaller instance, all gates still enforced.
+        let outcome = e9_sweep(1_200, 3);
+        for gate in &outcome.gates {
+            assert!(gate.passed, "{}: {}", gate.name, gate.detail);
+        }
+        // One control row plus one row per crash point, and the injected
+        // rates are high enough that the representative trace is non-empty.
+        assert_eq!(outcome.rows.len(), 4);
+        assert!(!outcome.fault_trace.is_empty());
+        let json = fault_trace_json(&outcome.fault_trace);
+        assert!(json.contains("\"experiment\": \"e9\""));
+        assert!(json.contains("\"kind\": \""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -73,8 +73,15 @@
 //!
 //! ## Two tree-evaluation orders
 //!
-//! [`RecursionStrategy::DepthFirst`] (production) evaluates the tree by
-//! recursion. Depth-first order is what makes the run cache-adaptive: a
+//! [`RecursionStrategy::DepthFirst`] (production) evaluates the tree in
+//! depth-first order over an **explicit subproblem stack** (one frame per
+//! pending node, plus gauge-lease markers so the accounting matches the old
+//! recursion frame for frame). The explicit stack is what makes the run
+//! *checkpointable*: at any subproblem boundary the whole frontier can be
+//! serialised as `O(1)`-word descriptors (depth, colour vector, removed
+//! vertices) and the edge lists recovered later by order-preserving filter
+//! scans of the root — see [`crate::checkpoint`]. Depth-first order is what
+//! makes the run cache-adaptive: a
 //! subtree whose working set fits internal memory is created, consumed and
 //! freed before the LRU cache ever evicts it, so deep levels cost no I/O at
 //! all and the charged I/O concentrates on the above-memory part of the
@@ -94,11 +101,16 @@
 //! a doc-hidden toggle so the equivalence and pass-count guarantees stay
 //! executable.
 
+use std::rc::Rc;
+
 use emalgo::{kway_merge_tagged, PartitionWriter};
 use emsim::{ExtVec, Machine, MemLease};
 use graphgen::{Edge, Triangle, VertexId};
 use kwise::{FourWise, RefinedColoring};
 
+use crate::checkpoint::{
+    Checkpoint, CheckpointSpec, FrameDescriptor, NodeDescriptor, CHECKPOINT_VERSION,
+};
 use crate::input::ExtGraph;
 use crate::lemma1::enumerate_through_vertex;
 use crate::sink::TriangleSink;
@@ -222,6 +234,13 @@ struct CoContext<'a> {
     bit_cache_lease: MemLease,
     /// The run-global files of the batched oversized-leaf wedge join.
     leaf_batch: LeafBatch,
+    /// Descriptors of every oversized leaf batched so far, in leaf-id order.
+    /// The run-global batch files die with the simulated machine on a crash,
+    /// so checkpoints persist this log and a resume replays it. Maintained
+    /// only when `log_leaves` is armed — zero cost on ordinary runs.
+    leaf_log: Vec<NodeDescriptor>,
+    /// Whether checkpointing is armed (and hence the leaf log maintained).
+    log_leaves: bool,
 }
 
 /// The run-global files of the batched oversized-leaf base case: wedges and
@@ -272,11 +291,34 @@ pub(crate) fn run_cache_oblivious(
     sink: &mut dyn TriangleSink,
     recorder: &mut PhaseRecorder,
 ) -> (u64, CacheObliviousStats) {
+    run_cache_oblivious_recoverable(graph, seed, strategy, sink, recorder, None, None)
+}
+
+/// [`run_cache_oblivious`] with crash-safety armed: when `spec` is given the
+/// depth-first driver writes an atomic checkpoint at each subproblem boundary
+/// that crosses the I/O interval (committing the sink via
+/// [`TriangleSink::on_checkpoint`] right after each write); when `resume` is
+/// given the run starts from that checkpoint instead of the root — replaying
+/// the batched-leaf log, rebuilding the stack frontier by filter scans of the
+/// re-sorted root, and continuing the exactly-once emission numbering at the
+/// checkpoint's high-water mark. Both options require the depth-first driver.
+///
+/// With both options `None` this is byte-for-byte the ordinary run: the
+/// checkpoint plumbing is pay-for-what-you-use.
+pub(crate) fn run_cache_oblivious_recoverable(
+    graph: &ExtGraph,
+    seed: u64,
+    strategy: RecursionStrategy,
+    sink: &mut dyn TriangleSink,
+    recorder: &mut PhaseRecorder,
+    spec: Option<&CheckpointSpec>,
+    resume: Option<&Checkpoint>,
+) -> (u64, CacheObliviousStats) {
     let machine = graph.machine().clone();
     let e = graph.edge_count();
     if e < 3 {
         return (
-            0,
+            resume.map_or(0, |c| c.hwm),
             CacheObliviousStats {
                 subproblems: 1,
                 max_depth: 0,
@@ -287,6 +329,13 @@ pub(crate) fn run_cache_oblivious(
     }
     // Depth limit log₄ E (a function of the input size only).
     let depth_limit = ((e as f64).ln() / 4f64.ln()).ceil() as usize;
+    if let Some(ck) = resume {
+        assert_eq!(
+            (ck.seed, ck.edges, ck.depth_limit),
+            (seed, e, depth_limit),
+            "checkpoint does not describe this run (seed / edge count / depth limit mismatch)"
+        );
+    }
 
     // Root canonical edge list. The input is already sorted, which the
     // defensive sort detects in one charged scan and answers with a copy —
@@ -306,7 +355,7 @@ pub(crate) fn run_cache_oblivious(
 
     let mut ctx = CoContext {
         sink,
-        emitted: 0,
+        emitted: resume.map_or(0, |c| c.hwm),
         depth_limit,
         subproblems: 0,
         max_depth: 0,
@@ -314,17 +363,48 @@ pub(crate) fn run_cache_oblivious(
         partition_sweeps: 0,
         bit_cache_lease: machine.gauge().lease(0),
         leaf_batch: LeafBatch::new(&machine),
+        leaf_log: Vec::new(),
+        log_leaves: spec.is_some(),
     };
-    let io0 = machine.io();
     match strategy {
         RecursionStrategy::DepthFirst => {
-            solve_depth_first(&mut ctx, root, None, &coloring, (1, 1, 1), 0)
+            let stack = match resume {
+                None => vec![Frame::Node(PendingNode {
+                    edges: root,
+                    summary: None,
+                    target: (1, 1, 1),
+                    depth: 0,
+                    removed: None,
+                })],
+                Some(ck) => {
+                    let io0 = machine.io();
+                    let stack =
+                        rebuild_stack_from_checkpoint(&mut ctx, &machine, &coloring, &root, ck);
+                    drop(root);
+                    recorder.record("resume_rebuild", io0, machine.io());
+                    stack
+                }
+            };
+            let ckpt = spec.map(|s| CheckpointCtl {
+                spec: s,
+                seed,
+                root_edges: e,
+                last_io: machine.io().total(),
+            });
+            let io0 = machine.io();
+            drive_depth_first(&mut ctx, &machine, &coloring, stack, ckpt);
+            recorder.record("recursion", io0, machine.io());
         }
         RecursionStrategy::LevelSynchronous => {
-            solve_level_synchronous(&mut ctx, &machine, root, &coloring)
+            assert!(
+                spec.is_none() && resume.is_none(),
+                "checkpoint/resume requires the depth-first driver"
+            );
+            let io0 = machine.io();
+            solve_level_synchronous(&mut ctx, &machine, root, &coloring);
+            recorder.record("recursion", io0, machine.io());
         }
     }
-    recorder.record("recursion", io0, machine.io());
     let io0 = machine.io();
     close_oversized_leaves(&mut ctx, &machine, &coloring);
     recorder.record("leaf_batch", io0, machine.io());
@@ -626,27 +706,239 @@ fn close_oversized_leaves(ctx: &mut CoContext<'_>, machine: &Machine, coloring: 
 }
 
 // ---------------------------------------------------------------------------
-// The depth-first driver (production path).
+// The depth-first driver (production path): an explicit subproblem stack.
 // ---------------------------------------------------------------------------
 
-fn solve_depth_first(
-    ctx: &mut CoContext<'_>,
+/// The set of vertices removed by high-degree enumeration at one node, linked
+/// to the ancestor sets above it. Shared (`Rc`) by all eight children so the
+/// per-frame cost stays `O(1)` words; removal sets at different levels are
+/// disjoint (a removed vertex has no edges left below its removal level), so
+/// the flattened union needs no dedup.
+struct RemovedSet {
+    /// Ascending vertex ids removed at this node.
+    vertices: Vec<VertexId>,
+    parent: Option<Rc<RemovedSet>>,
+}
+
+/// Flattens a node's ancestor chain of removal sets into one sorted list —
+/// the form [`NodeDescriptor`] persists and the resume filter scans against.
+fn flatten_removed(removed: &Option<Rc<RemovedSet>>) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    let mut cur = removed.as_ref();
+    while let Some(set) = cur {
+        out.extend_from_slice(&set.vertices);
+        cur = set.parent.as_ref();
+    }
+    out.sort_unstable(); // emlint: allow(uncharged-std, reason = "O(16·depth)-bounded checkpoint descriptor scratch")
+    out
+}
+
+/// A pending subproblem of the explicit depth-first stack — exactly the
+/// arguments the old recursion passed, plus the removal chain a checkpoint
+/// descriptor needs.
+struct PendingNode {
     edges: ExtVec<Edge>,
-    inherited: Option<HeavyHitters>,
-    coloring: &RefinedColoring,
+    /// Heavy-hitter summary fed by the parent's routing scan; `None` at the
+    /// root and for nodes rebuilt from a checkpoint (which pay one summary
+    /// scan instead — recovery overhead, not a correctness difference: the
+    /// exact high-degree set is resolved from either summary).
+    summary: Option<HeavyHitters>,
     target: ColorVector,
     depth: usize,
+    removed: Option<Rc<RemovedSet>>,
+}
+
+/// One frame of the explicit stack. `Release` marks where the old recursion
+/// dropped a parent's child-summaries gauge lease (after its whole subtree),
+/// keeping the gauge accounting identical frame for frame.
+enum Frame {
+    Node(PendingNode),
+    Release(MemLease),
+}
+
+fn descriptor_of(node: &PendingNode) -> NodeDescriptor {
+    NodeDescriptor {
+        depth: node.depth,
+        target: node.target,
+        removed: flatten_removed(&node.removed),
+    }
+}
+
+/// Live checkpointing state of a run with a [`CheckpointSpec`] armed.
+struct CheckpointCtl<'a> {
+    spec: &'a CheckpointSpec,
+    seed: u64,
+    root_edges: usize,
+    /// Simulated I/O total at the last checkpoint.
+    last_io: u64,
+}
+
+/// Writes a checkpoint if the I/O interval has elapsed and the stack top is a
+/// node (checkpoints land on subproblem boundaries). The sink is committed
+/// via [`TriangleSink::on_checkpoint`] only *after* the atomic file replace
+/// succeeds, so the persisted high-water mark never runs ahead of the
+/// durably delivered triangles.
+fn maybe_checkpoint(
+    ctx: &mut CoContext<'_>,
+    machine: &Machine,
+    stack: &[Frame],
+    ctl: &mut CheckpointCtl<'_>,
 ) {
+    if machine.io().total().saturating_sub(ctl.last_io) < ctl.spec.interval_io {
+        return;
+    }
+    if !matches!(stack.last(), Some(Frame::Node(_))) {
+        return;
+    }
+    let frontier: Vec<FrameDescriptor> = stack
+        .iter()
+        .map(|frame| match frame {
+            Frame::Node(node) => FrameDescriptor::Node(descriptor_of(node)),
+            Frame::Release(lease) => FrameDescriptor::Release {
+                words: lease.words(),
+            },
+        })
+        .collect();
+    let checkpoint = Checkpoint {
+        version: CHECKPOINT_VERSION,
+        seed: ctl.seed,
+        edges: ctl.root_edges,
+        depth_limit: ctx.depth_limit,
+        hwm: ctx.emitted,
+        frontier,
+        leaves: ctx.leaf_log.clone(),
+    };
+    checkpoint.write_atomic(&ctl.spec.path).unwrap_or_else(|e| {
+        panic!(
+            "failed to write checkpoint {}: {e}",
+            ctl.spec.path.display()
+        )
+    });
+    ctx.sink.on_checkpoint();
+    ctl.last_io = machine.io().total();
+}
+
+/// Rebuilds the driver state persisted in `checkpoint`: replays the batched
+/// oversized leaves (their run-global files died with the crashed machine),
+/// then reconstructs each frontier node's edge list by one order-preserving
+/// filter scan of the re-sorted root — compatibility is hereditary and both
+/// removal and routing preserve the root's `(u, v)` order, so the scan
+/// recovers the exact list the crashed run held.
+fn rebuild_stack_from_checkpoint(
+    ctx: &mut CoContext<'_>,
+    machine: &Machine,
+    coloring: &RefinedColoring,
+    root: &ExtVec<Edge>,
+    checkpoint: &Checkpoint,
+) -> Vec<Frame> {
+    for leaf in &checkpoint.leaves {
+        let edges = reconstruct_edges(coloring, root, leaf);
+        batch_oversized_leaf(
+            machine,
+            &mut ctx.leaf_batch,
+            edges.iter(),
+            leaf.target,
+            leaf.depth,
+        );
+        if ctx.log_leaves {
+            ctx.leaf_log.push(leaf.clone());
+        }
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    for frame in &checkpoint.frontier {
+        match frame {
+            FrameDescriptor::Release { words } => {
+                stack.push(Frame::Release(machine.gauge().lease(*words)));
+            }
+            FrameDescriptor::Node(desc) => {
+                let edges = reconstruct_edges(coloring, root, desc);
+                let removed = if desc.removed.is_empty() {
+                    None
+                } else {
+                    Some(Rc::new(RemovedSet {
+                        vertices: desc.removed.clone(),
+                        parent: None,
+                    }))
+                };
+                stack.push(Frame::Node(PendingNode {
+                    edges,
+                    summary: None,
+                    target: desc.target,
+                    depth: desc.depth,
+                    removed,
+                }));
+            }
+        }
+    }
+    stack
+}
+
+/// One order-preserving filter scan of the root recovering a descriptor's
+/// exact edge list: keep each edge whose colour pair is compatible with the
+/// node's vector at its depth and which touches no removed vertex.
+fn reconstruct_edges(
+    coloring: &RefinedColoring,
+    root: &ExtVec<Edge>,
+    desc: &NodeDescriptor,
+) -> ExtVec<Edge> {
+    let removed = &desc.removed;
+    emalgo::scan_filter(root, |e| {
+        pair_compatible(
+            coloring.color_at(e.u, desc.depth),
+            coloring.color_at(e.v, desc.depth),
+            desc.target,
+        ) && removed.binary_search(&e.u).is_err()
+            && removed.binary_search(&e.v).is_err()
+    })
+}
+
+/// The driver loop: pop a frame, process it, push its children. Identical
+/// operation order to the old recursion (children pushed last-child-first so
+/// child 0 runs next; a parent's summary lease rides as a `Release` frame
+/// below its children), so I/O, work, gauge and emissions are bit-identical.
+fn drive_depth_first(
+    ctx: &mut CoContext<'_>,
+    machine: &Machine,
+    coloring: &RefinedColoring,
+    mut stack: Vec<Frame>,
+    mut ckpt: Option<CheckpointCtl<'_>>,
+) {
+    while !stack.is_empty() {
+        if let Some(ctl) = ckpt.as_mut() {
+            maybe_checkpoint(ctx, machine, &stack, ctl);
+        }
+        match stack.pop().expect("loop guard: stack is non-empty") {
+            Frame::Release(lease) => drop(lease),
+            Frame::Node(node) => process_node(ctx, machine, coloring, node, &mut stack),
+        }
+    }
+}
+
+/// Processes one pending subproblem — the body of the old recursion, with
+/// "recurse on the eight children" replaced by "push the eight children".
+fn process_node(
+    ctx: &mut CoContext<'_>,
+    machine: &Machine,
+    coloring: &RefinedColoring,
+    node: PendingNode,
+    stack: &mut Vec<Frame>,
+) {
+    let PendingNode {
+        edges,
+        summary: inherited,
+        target,
+        depth,
+        removed,
+    } = node;
     ctx.subproblems += 1;
     ctx.max_depth = ctx.max_depth.max(depth);
     let e_here = edges.len();
     if e_here < 3 {
         return;
     }
-    let machine = edges.machine().clone();
     if e_here <= BASE_CASE_EDGES {
         let emitted = solve_leaf_in_core(
-            &machine,
+            machine,
             edges.iter(),
             |t| proper_at(&t, coloring, depth, target),
             ctx.sink,
@@ -655,20 +947,33 @@ fn solve_depth_first(
         return;
     }
     if depth >= ctx.depth_limit {
-        batch_oversized_leaf(&machine, &mut ctx.leaf_batch, edges.iter(), target, depth);
+        if ctx.log_leaves {
+            ctx.leaf_log.push(NodeDescriptor {
+                depth,
+                target,
+                removed: flatten_removed(&removed),
+            });
+        }
+        batch_oversized_leaf(machine, &mut ctx.leaf_batch, edges.iter(), target, depth);
         return;
     }
 
     // ---- Step 1: local high-degree vertices. ----
     // Below the root the parent's routing scan already built this child's
-    // heavy-hitter summary; only the root pays for its own summary scan.
-    let summary = inherited.unwrap_or_else(|| HeavyHitters::of_stream(&machine, edges.iter()));
-    let (high, truncated) = resolve_high_degree(&machine, &summary, e_here, || edges.iter());
+    // heavy-hitter summary; only the root (and nodes rebuilt from a
+    // checkpoint) pay for their own summary scan.
+    let summary = inherited.unwrap_or_else(|| HeavyHitters::of_stream(machine, edges.iter()));
+    let (high, truncated) = resolve_high_degree(machine, &summary, e_here, || edges.iter());
     ctx.high_degree_truncations += u64::from(truncated);
 
     let mut current = edges;
+    let mut removed = removed;
     if !high.is_empty() {
         current = enumerate_high_degree(ctx, current, &high, coloring, depth, target);
+        removed = Some(Rc::new(RemovedSet {
+            vertices: high,
+            parent: removed,
+        }));
         if current.len() < 3 {
             return;
         }
@@ -679,9 +984,9 @@ fn solve_depth_first(
     ctx.partition_sweeps += 1;
     let children = child_vectors(target);
     // The summaries stay resident until the last child consumes its own, so
-    // the lease must span the whole children loop (one recursion frame's
-    // worth per live ancestor), not just the routing scan.
-    let _summary_lease = machine.gauge().lease(CHILDREN as u64 * HeavyHitters::WORDS);
+    // the lease must span the whole subtree below this node: it rides the
+    // stack as a Release frame underneath the eight children.
+    let summary_lease = machine.gauge().lease(CHILDREN as u64 * HeavyHitters::WORDS);
     let mut summaries: Vec<HeavyHitters> = (0..CHILDREN).map(|_| HeavyHitters::default()).collect();
     let buckets = {
         let summaries = &mut summaries;
@@ -709,17 +1014,20 @@ fn solve_depth_first(
     drop(current);
     ctx.bit_cache_lease.resize(coloring.cached_bits() as u64);
 
-    for ((bucket, &child_target), summary) in
-        buckets.into_iter().zip(children.iter()).zip(summaries)
+    stack.push(Frame::Release(summary_lease));
+    for ((bucket, &child_target), summary) in buckets
+        .into_iter()
+        .zip(children.iter())
+        .zip(summaries)
+        .rev()
     {
-        solve_depth_first(
-            ctx,
-            bucket,
-            Some(summary),
-            coloring,
-            child_target,
-            depth + 1,
-        );
+        stack.push(Frame::Node(PendingNode {
+            edges: bucket,
+            summary: Some(summary),
+            target: child_target,
+            depth: depth + 1,
+            removed: removed.clone(),
+        }));
     }
 }
 
@@ -1136,6 +1444,144 @@ mod tests {
         let (high, truncated) = select_local_high_degree(tied);
         assert!(truncated);
         assert_eq!(high, (0..16u32).collect::<Vec<_>>(), "ties broken by id");
+    }
+
+    #[test]
+    fn checkpointed_run_is_bit_identical_to_a_plain_run() {
+        // Arming checkpoints must not change the emission sequence, the I/O
+        // count or the work count — the periodic snapshot is pure
+        // observation of the driver state.
+        use crate::sink::CollectingSink;
+        let g = generators::erdos_renyi(200, 1600, 21);
+        let cfg = EmConfig::new(512, 32);
+
+        let run = |spec: Option<&CheckpointSpec>| {
+            let machine = Machine::new(cfg);
+            let eg = ExtGraph::load(&machine, &g);
+            machine.cold_cache();
+            let mut sink = CollectingSink::new();
+            let mut rec = PhaseRecorder::new(machine.gauge());
+            let (n, _) = run_cache_oblivious_recoverable(
+                &eg,
+                9,
+                RecursionStrategy::DepthFirst,
+                &mut sink,
+                &mut rec,
+                spec,
+                None,
+            );
+            let stats = machine.stats();
+            (n, sink.into_triangles(), stats.io, stats.work_ops)
+        };
+
+        let dir = std::env::temp_dir().join("trienum-ckpt-bitident");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = CheckpointSpec {
+            path: dir.join("ckpt.json"),
+            interval_io: 40,
+        };
+        let plain = run(None);
+        let armed = run(Some(&spec));
+        assert_eq!(plain, armed);
+        // The interval was small enough that at least one checkpoint landed.
+        let ck = Checkpoint::load(&spec.path).expect("a checkpoint was written");
+        assert_eq!(ck.seed, 9);
+        assert_eq!(ck.edges, 1600);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_from_a_mid_run_checkpoint_completes_the_exact_multiset() {
+        // Crash the run at an arbitrary I/O ordinal, resume from the last
+        // checkpoint on a fresh machine, and require the union of committed
+        // triangles to be the oracle set, each exactly once.
+        use crate::sink::{CollectingSink, DurableSink};
+        use emsim::{CrashPoint, FaultPlan};
+
+        let g = generators::erdos_renyi(160, 1400, 33);
+        let machine_probe = Machine::new(EmConfig::new(512, 32));
+        let eg = ExtGraph::load(&machine_probe, &g);
+        machine_probe.cold_cache();
+        let preamble = machine_probe.transfers();
+        let expected = {
+            let mut sink = StrictSink::new();
+            let mut rec = PhaseRecorder::new(machine_probe.gauge());
+            let (n, _) =
+                run_cache_oblivious(&eg, 4, RecursionStrategy::DepthFirst, &mut sink, &mut rec);
+            assert!(n > 0);
+            (n, sink.seen().clone())
+        };
+        let total_transfers = machine_probe.transfers();
+
+        let dir = std::env::temp_dir().join("trienum-ckpt-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = CheckpointSpec {
+            path: dir.join("ckpt.json"),
+            interval_io: 30,
+        };
+
+        // CrashAt counts logical transfers from machine creation, so aim the
+        // kill switch past the (excluded-from-measurement) load preamble, at
+        // the midpoint of the run proper.
+        let crash_at = preamble + (total_transfers - preamble) / 2;
+
+        let mut collected = CollectingSink::new();
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let machine = Machine::with_faults(
+                EmConfig::new(512, 32),
+                FaultPlan::new(1).with_crash_at(crash_at),
+            );
+            let eg = ExtGraph::load(&machine, &g);
+            machine.cold_cache();
+            let mut durable = DurableSink::new(&mut collected);
+            let mut rec = PhaseRecorder::new(machine.gauge());
+            let _ = run_cache_oblivious_recoverable(
+                &eg,
+                4,
+                RecursionStrategy::DepthFirst,
+                &mut durable,
+                &mut rec,
+                Some(&spec),
+                None,
+            );
+        }));
+        let payload = crashed.expect_err("the fault plan kills this run");
+        assert!(payload.downcast_ref::<CrashPoint>().is_some());
+        let hwm = collected.len() as u64;
+        let ck = Checkpoint::load(&spec.path).expect("a checkpoint survived the crash");
+        assert_eq!(
+            ck.hwm, hwm,
+            "high-water mark must equal the committed count"
+        );
+        assert!(hwm < expected.0, "the crash must interrupt mid-run");
+
+        // Resume on a fresh, healthy machine.
+        let machine = Machine::new(EmConfig::new(512, 32));
+        let eg = ExtGraph::load(&machine, &g);
+        machine.cold_cache();
+        let mut durable = DurableSink::resume_from(&mut collected, hwm);
+        let mut rec = PhaseRecorder::new(machine.gauge());
+        let (total, _) = run_cache_oblivious_recoverable(
+            &eg,
+            4,
+            RecursionStrategy::DepthFirst,
+            &mut durable,
+            &mut rec,
+            None,
+            Some(&ck),
+        );
+        durable.commit();
+        assert_eq!(total, expected.0);
+        let got: std::collections::HashSet<Triangle> =
+            collected.triangles().iter().copied().collect();
+        assert_eq!(
+            got.len(),
+            collected.len(),
+            "no triangle may be delivered twice across the crash boundary"
+        );
+        assert_eq!(got, expected.1);
+        assert_eq!(machine.gauge().in_use(), 0, "no leaked leases after resume");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 mod baselines;
 mod cache_aware;
 mod cache_oblivious;
+pub mod checkpoint;
 mod derandomized;
 mod input;
 mod lemma1;
@@ -51,14 +52,17 @@ mod stats;
 mod util;
 
 pub use cache_aware::measure_random_coloring_balance;
+pub use checkpoint::{Checkpoint, CheckpointSpec};
 pub use input::ExtGraph;
-pub use sink::{CollectingSink, CountingSink, FnSink, StrictSink, TriangleSink};
+pub use sink::{CollectingSink, CountingSink, DurableSink, FnSink, StrictSink, TriangleSink};
 pub use stats::RunReport;
 
-// Re-export the configuration type so downstream users need only this crate.
-pub use emsim::EmConfig;
+// Re-export the configuration and machine types so downstream users need
+// only this crate (the machine is part of the public API of the crash-safe
+// entry points, which accept a caller-built — possibly fault-injected —
+// machine).
+pub use emsim::{EmConfig, Machine};
 
-use emsim::Machine;
 use graphgen::{Graph, Triangle};
 use stats::PhaseRecorder;
 
@@ -204,6 +208,12 @@ struct TranslatingSink<'a> {
 impl TriangleSink for TranslatingSink<'_> {
     fn emit(&mut self, t: Triangle) {
         self.inner.emit(self.graph.translate(t));
+    }
+
+    fn on_checkpoint(&mut self) {
+        // Checkpoint boundaries must reach the wrapped sink — a DurableSink
+        // behind the translation commits its buffer on this signal.
+        self.inner.on_checkpoint();
     }
 }
 
@@ -378,6 +388,124 @@ pub fn count_triangles(graph: &Graph, algorithm: Algorithm, cfg: EmConfig) -> (u
     (sink.count(), report)
 }
 
+/// Crash-safe cache-oblivious enumeration on a caller-built machine.
+///
+/// Unlike [`enumerate_triangles`], the machine is supplied by the caller —
+/// typically [`Machine::with_faults`] under a chaos harness — and emissions
+/// reach `sink` only at checkpoint boundaries (and at successful
+/// completion), buffered through a [`DurableSink`]. When `spec` is `Some`,
+/// the run writes an atomic checkpoint to `spec.path` at each subproblem
+/// boundary that crosses `spec.interval_io` simulated I/Os; a later
+/// [`resume_enumeration`] against that file (and the same `graph`/`seed`,
+/// on a fresh machine) replays to the bit-identical triangle multiset with
+/// exactly-once delivery across the crash boundary.
+///
+/// A `CrashAt` fault surfaces as a panic carrying [`emsim::CrashPoint`];
+/// the harness catches it, discards the dead machine (uncommitted buffered
+/// emissions die with this call's stack), and resumes.
+pub fn enumerate_triangles_with_recovery(
+    graph: &Graph,
+    machine: &Machine,
+    seed: u64,
+    sink: &mut dyn TriangleSink,
+    spec: Option<&CheckpointSpec>,
+) -> RunReport {
+    run_recoverable(graph, machine, seed, sink, spec, None)
+}
+
+/// Resumes a crashed [`enumerate_triangles_with_recovery`] run from its last
+/// checkpoint, on a fresh `machine`. `sink` must be the same sink (or one
+/// holding the same state) the crashed run committed into: the checkpoint's
+/// high-water mark says how many triangles it already holds, and the resumed
+/// run delivers exactly the remainder. Passing `spec` keeps checkpointing
+/// armed across the resume, so repeated crashes stay recoverable.
+pub fn resume_enumeration(
+    graph: &Graph,
+    machine: &Machine,
+    checkpoint: &Checkpoint,
+    sink: &mut dyn TriangleSink,
+    spec: Option<&CheckpointSpec>,
+) -> RunReport {
+    run_recoverable(
+        graph,
+        machine,
+        checkpoint.seed,
+        sink,
+        spec,
+        Some(checkpoint),
+    )
+}
+
+fn run_recoverable(
+    graph: &Graph,
+    machine: &Machine,
+    seed: u64,
+    sink: &mut dyn TriangleSink,
+    spec: Option<&CheckpointSpec>,
+    resume: Option<&Checkpoint>,
+) -> RunReport {
+    let cfg = machine.config();
+    let ext = ExtGraph::load(machine, graph);
+    machine.cold_cache();
+    machine.gauge().reset_peak();
+    let before = machine.stats();
+
+    let mut recorder = PhaseRecorder::new(machine.gauge());
+    let mut durable = DurableSink::resume_from(sink, resume.map_or(0, |c| c.hwm));
+    let (triangles, stats) = {
+        let mut translating = TranslatingSink {
+            graph: &ext,
+            inner: &mut durable,
+        };
+        cache_oblivious::run_cache_oblivious_recoverable(
+            &ext,
+            seed,
+            RecursionStrategy::DepthFirst,
+            &mut translating,
+            &mut recorder,
+            spec,
+            resume,
+        )
+    };
+    // The run completed: deliver the tail buffered since the last
+    // checkpoint. (On a crash this line is never reached and the tail dies
+    // with the buffer — exactly what resume replays.)
+    durable.commit();
+    debug_assert_eq!(durable.committed(), triangles);
+
+    let after = machine.stats();
+    let delta = after.since(&before);
+    let (phases, phase_peaks) = recorder.into_parts();
+    // emlint: allow(unleased, reason = "run-report bookkeeping outside the measured region, not algorithm memory")
+    let extra: Vec<(String, f64)> = vec![
+        ("subproblems".into(), stats.subproblems as f64),
+        ("max_recursion_depth".into(), stats.max_depth as f64),
+        (
+            "high_degree_truncations".into(),
+            stats.high_degree_truncations as f64,
+        ),
+        ("partition_sweeps".into(), stats.partition_sweeps as f64),
+        ("retry_io".into(), delta.retry_io as f64),
+        ("retry_work".into(), delta.retry_work as f64),
+    ];
+    RunReport {
+        algorithm: Algorithm::CacheObliviousRandomized { seed }
+            .name()
+            .to_string(),
+        config: cfg,
+        edges: ext.edge_count(),
+        vertices: ext.vertex_count(),
+        triangles,
+        io: delta.io,
+        phases,
+        phase_peaks,
+        peak_mem_words: after.peak_mem_words,
+        peak_disk_words: after.peak_disk_words,
+        work_ops: delta.work_ops,
+        extra,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +570,32 @@ mod tests {
         let bnl = Algorithm::BlockNestedLoop.analytic_bound(cfg, e);
         assert!(paper < hu);
         assert!(hu < bnl);
+    }
+
+    #[test]
+    fn recovery_entry_point_on_a_healthy_machine_matches_the_plain_run_exactly() {
+        // The fault/checkpoint layer is pay-for-what-you-use: with no fault
+        // plan and no checkpoint spec, the crash-safe entry point must
+        // reproduce the ordinary run's triangles, I/O and work to the digit.
+        let g = generators::erdos_renyi(150, 1100, 12);
+        let cfg = EmConfig::new(512, 32);
+        let mut plain_sink = CollectingSink::new();
+        let plain = enumerate_triangles(
+            &g,
+            Algorithm::CacheObliviousRandomized { seed: 6 },
+            cfg,
+            &mut plain_sink,
+        );
+        let machine = Machine::new(cfg);
+        let mut safe_sink = CollectingSink::new();
+        let safe = enumerate_triangles_with_recovery(&g, &machine, 6, &mut safe_sink, None);
+        assert_eq!(plain.triangles, safe.triangles);
+        assert_eq!(plain.io, safe.io);
+        assert_eq!(plain.work_ops, safe.work_ops);
+        assert_eq!(plain.peak_disk_words, safe.peak_disk_words);
+        assert_eq!(plain_sink.triangles(), safe_sink.triangles());
+        assert_eq!(safe.extra("retry_io"), Some(0.0));
+        assert_eq!(safe.extra("retry_work"), Some(0.0));
     }
 
     #[test]

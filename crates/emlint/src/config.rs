@@ -9,9 +9,11 @@
 //! ```
 //!
 //! Rule names accept both ids (`"R1"`) and slugs (`"unleased"`). Paths are
-//! workspace-relative directory prefixes; a file is linted under the most
-//! specific (longest-path) scope that matches it, so bench/test/example trees
-//! simply get no scope and stay out of R1–R3.
+//! workspace-relative directory prefixes *or* exact file paths; a file is
+//! linted under the most specific (longest-path) scope that matches it, so
+//! bench/test/example trees simply get no scope and stay out of R1–R3, while
+//! a single charged file inside an otherwise unscoped crate (e.g.
+//! `crates/emsim/src/storage.rs`) can be brought under lint on its own.
 
 use crate::rules::Rule;
 
@@ -97,14 +99,16 @@ impl Config {
     }
 
     /// The rules applying to a workspace-relative file path: those of the
-    /// longest-prefix matching scope, or none.
+    /// longest-prefix matching scope, or none. A scope path is a directory
+    /// prefix (matching whole path components) or an exact file path (the
+    /// stripped remainder is empty).
     pub fn rules_for(&self, rel_path: &str) -> &[Rule] {
         self.scopes
             .iter()
             .filter(|s| {
                 rel_path
                     .strip_prefix(s.path.as_str())
-                    .is_some_and(|rest| rest.starts_with('/'))
+                    .is_some_and(|rest| rest.starts_with('/') || rest.is_empty())
             })
             .max_by_key(|s| s.path.len())
             .map_or(&[], |s| s.rules.as_slice())
@@ -162,6 +166,28 @@ mod tests {
         assert!(cfg.rules_for("crates/bench/src/lib.rs").is_empty());
         // Prefixes match whole path components, not substrings.
         assert!(cfg.rules_for("crates/core/srcx/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn exact_file_scopes_match_only_that_file_and_win_on_length() {
+        let cfg = Config::parse(
+            "[[scope]]\npath = \"crates/emsim/src/storage.rs\"\nrules = [\"R1\", \"R2\"]\n\n[[scope]]\npath = \"crates/emsim/src\"\nrules = [\"R4\"]\n",
+        )
+        .unwrap();
+        // The exact-file scope is the longer match and overrides the
+        // directory scope for that one file…
+        assert_eq!(
+            cfg.rules_for("crates/emsim/src/storage.rs"),
+            &[Rule::R1, Rule::R2]
+        );
+        // …its siblings keep the directory scope…
+        assert_eq!(cfg.rules_for("crates/emsim/src/machine.rs"), &[Rule::R4]);
+        // …and the file scope never bleeds onto lookalike paths.
+        assert_eq!(
+            cfg.rules_for("crates/emsim/src/storage.rs.bak"),
+            &[Rule::R4],
+            "a name that merely starts with the file path is not the file"
+        );
     }
 
     #[test]

@@ -105,7 +105,13 @@ pub fn lint_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, Stri
 pub fn lint_workspace_report(root: &Path, config: &Config) -> Result<WorkspaceReport, String> {
     let mut files: Vec<String> = Vec::new();
     for scope in &config.scopes {
-        collect_rs_files(root, &scope.path, &mut files)?;
+        // A scope path may be an exact file (see `Config::rules_for`) or a
+        // directory tree to walk.
+        if root.join(&scope.path).is_file() {
+            files.push(scope.path.clone());
+        } else {
+            collect_rs_files(root, &scope.path, &mut files)?;
+        }
     }
     files.sort();
     files.dedup();

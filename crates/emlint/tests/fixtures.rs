@@ -160,6 +160,35 @@ fn findings_render_as_file_line_rule_slug() {
 }
 
 #[test]
+fn storage_backend_fixture_reports_exact_lines() {
+    assert_eq!(
+        check("violations/storage_backend.rs"),
+        vec![(7, "R1"), (8, "R1"), (13, "R2"), (13, "R2")]
+    );
+    assert_eq!(check("clean/storage_backend.rs"), vec![]);
+}
+
+#[test]
+fn exact_file_scopes_lint_one_file_without_walking_its_siblings() {
+    // The scope path is a file, not a directory: only that file is walked
+    // and linted, its sibling fixtures stay untouched — the mechanism the
+    // emlint.toml scopes for crates/emsim/src/{storage,faults}.rs rely on.
+    let config = Config::parse(
+        "[[scope]]\npath = \"violations/storage_backend.rs\"\nrules = [\"R1\", \"R2\", \"R4\", \"R5\"]\n",
+    )
+    .unwrap();
+    let findings = lint_workspace(fixture_root(), &config).unwrap();
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.file == "violations/storage_backend.rs"),
+        "an exact-file scope must not walk sibling fixtures"
+    );
+    let lines: Vec<(usize, &str)> = findings.iter().map(|f| (f.line, f.rule.id())).collect();
+    assert_eq!(lines, vec![(7, "R1"), (8, "R1"), (13, "R2"), (13, "R2")]);
+}
+
+#[test]
 fn workspace_walk_honours_scopes_and_is_deterministic() {
     let rules = "rules = [\"R1\", \"R2\", \"R3\", \"R4\", \"R5\", \"R6\", \"R7\"]";
     let config = Config::parse(&format!(
@@ -169,8 +198,9 @@ fn workspace_walk_honours_scopes_and_is_deterministic() {
     let findings = lint_workspace(fixture_root(), &config).unwrap();
     // 3 (unleased) + 3 (uncharged_std) + 2 (uncharged_probe) + 4 (hygiene)
     // + 1 (stale_waiver) + 3 (tainted) + 5 (uncharged_work) + 1
-    // (lease_summary), none from clean/.
-    assert_eq!(findings.len(), 22);
+    // (lease_summary) + 4 (storage_backend: 2 unleased, 2 uncharged_std),
+    // none from clean/.
+    assert_eq!(findings.len(), 26);
     assert!(findings.iter().all(|f| f.file.starts_with("violations/")));
     let again = lint_workspace(fixture_root(), &config).unwrap();
     let key = |fs: &[emlint::Finding]| {

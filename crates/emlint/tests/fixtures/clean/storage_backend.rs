@@ -1,0 +1,14 @@
+// Clean twin of violations/storage_backend.rs: the trace buffer is covered
+// by a lease and the block index carries a reasoned waiver.
+
+pub fn record_fault_trace(n: usize, gauge: &MemGauge) -> Vec<u64> {
+    let _lease = gauge.lease(n as u64);
+    let mut trace = Vec::with_capacity(n);
+    trace.push(7);
+    trace
+}
+
+pub fn order_blocks(keys: &mut [u64]) {
+    // emlint: allow(uncharged-std, reason = "fixture: in-core sort of a leased buffer")
+    keys.sort_unstable();
+}

@@ -1,0 +1,18 @@
+// File-scope fixture: a storage backend holding unleased trace buffers and
+// an uncharged block index — the shape the exact-file scopes for
+// crates/emsim/src/{storage,faults}.rs exist to catch.
+use std::collections::HashMap;
+
+pub fn record_fault_trace(n: usize) -> Vec<u64> {
+    let mut trace = Vec::with_capacity(n);
+    trace.extend(vec![1, 2, 3]);
+    trace
+}
+
+pub fn index_blocks(keys: &[u64]) -> usize {
+    let mut map: HashMap<u64, u64> = HashMap::new();
+    for &k in keys {
+        map.insert(k, k);
+    }
+    map.len()
+}

@@ -14,6 +14,11 @@ pub struct EmConfig {
     pub mem_words: usize,
     /// Block size `B`, in words.
     pub block_words: usize,
+    /// Optional cap on total disk usage, in words. `None` (the default)
+    /// models the unbounded disk of the I/O model; `Some(cap)` makes appends
+    /// beyond `cap` fail with [`crate::StorageError::NoSpace`], which the
+    /// fallible `try_*` accessors of [`crate::ExtVec`] surface as `Result`s.
+    pub disk_capacity_words: Option<u64>,
 }
 
 impl EmConfig {
@@ -32,7 +37,17 @@ impl EmConfig {
         Self {
             mem_words,
             block_words,
+            disk_capacity_words: None,
         }
+    }
+
+    /// Returns the same configuration with disk capacity capped at
+    /// `capacity_words` words; appends beyond the cap fail with
+    /// [`crate::StorageError::NoSpace`].
+    #[must_use]
+    pub fn with_disk_capacity(mut self, capacity_words: u64) -> Self {
+        self.disk_capacity_words = Some(capacity_words);
+        self
     }
 
     /// The number of block frames the internal memory can hold (`M / B`).

@@ -4,6 +4,7 @@ use std::marker::PhantomData;
 
 use crate::machine::Machine;
 use crate::record::Record;
+use crate::storage::StorageError;
 
 /// A growable, typed array living in simulated external memory.
 ///
@@ -67,6 +68,12 @@ impl<T: Record> ExtVec<T> {
     }
 
     /// Appends an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on permanent storage faults (retry exhaustion, disk-full);
+    /// see [`ExtVec::try_push`] for the fallible variant.
+    #[track_caller]
     pub fn push(&mut self, value: T) {
         let mut buf = [0u64; 4];
         debug_assert!(T::WORDS <= buf.len());
@@ -78,15 +85,38 @@ impl<T: Record> ExtVec<T> {
         self.len += 1;
     }
 
+    /// Fallible variant of [`ExtVec::push`]: permanent storage faults
+    /// (torn-write retry exhaustion, [`StorageError::NoSpace`]) surface as
+    /// errors instead of panics. On error the element is not appended (a
+    /// partially torn append is truncated away).
+    pub fn try_push(&mut self, value: T) -> Result<(), StorageError> {
+        let mut buf = [0u64; 4];
+        debug_assert!(T::WORDS <= buf.len());
+        value.encode(&mut buf[..T::WORDS]);
+        let base = self.len * T::WORDS;
+        for (k, w) in buf[..T::WORDS].iter().enumerate() {
+            if let Err(e) = self.machine.try_write_word(self.segment, base + k, *w) {
+                // Roll back any words of the torn element already written.
+                self.machine.truncate_segment(self.segment, base);
+                return Err(e);
+            }
+        }
+        self.len += 1;
+        Ok(())
+    }
+
     /// Reads the element at `idx`.
     ///
     /// # Panics
     ///
-    /// Panics if `idx >= len()`.
+    /// Panics at the caller's location if `idx >= len()`, naming the method,
+    /// the index and the length; also panics on permanent storage faults
+    /// (see [`ExtVec::try_get`]).
+    #[track_caller]
     pub fn get(&self, idx: usize) -> T {
         assert!(
             idx < self.len,
-            "index {idx} out of bounds (len {})",
+            "ExtVec::get: index {idx} out of bounds (len {})",
             self.len
         );
         let mut buf = [0u64; 4];
@@ -97,15 +127,36 @@ impl<T: Record> ExtVec<T> {
         T::decode(&buf[..T::WORDS])
     }
 
+    /// Fallible variant of [`ExtVec::get`]: permanent storage faults (read
+    /// retry exhaustion) surface as errors instead of panics. Bounds
+    /// violations still panic — they are caller bugs, not storage faults.
+    #[track_caller]
+    pub fn try_get(&self, idx: usize) -> Result<T, StorageError> {
+        assert!(
+            idx < self.len,
+            "ExtVec::try_get: index {idx} out of bounds (len {})",
+            self.len
+        );
+        let mut buf = [0u64; 4];
+        let base = idx * T::WORDS;
+        for (k, slot) in buf[..T::WORDS].iter_mut().enumerate() {
+            *slot = self.machine.try_read_word(self.segment, base + k)?;
+        }
+        Ok(T::decode(&buf[..T::WORDS]))
+    }
+
     /// Overwrites the element at `idx`.
     ///
     /// # Panics
     ///
-    /// Panics if `idx >= len()`.
+    /// Panics at the caller's location if `idx >= len()`, naming the method,
+    /// the index and the length; also panics on permanent storage faults
+    /// (see [`ExtVec::try_set`]).
+    #[track_caller]
     pub fn set(&mut self, idx: usize, value: T) {
         assert!(
             idx < self.len,
-            "index {idx} out of bounds (len {})",
+            "ExtVec::set: index {idx} out of bounds (len {})",
             self.len
         );
         let mut buf = [0u64; 4];
@@ -114,6 +165,24 @@ impl<T: Record> ExtVec<T> {
         for (k, w) in buf[..T::WORDS].iter().enumerate() {
             self.machine.write_word(self.segment, base + k, *w);
         }
+    }
+
+    /// Fallible variant of [`ExtVec::set`]: permanent storage faults surface
+    /// as errors instead of panics. Bounds violations still panic.
+    #[track_caller]
+    pub fn try_set(&mut self, idx: usize, value: T) -> Result<(), StorageError> {
+        assert!(
+            idx < self.len,
+            "ExtVec::try_set: index {idx} out of bounds (len {})",
+            self.len
+        );
+        let mut buf = [0u64; 4];
+        value.encode(&mut buf[..T::WORDS]);
+        let base = idx * T::WORDS;
+        for (k, w) in buf[..T::WORDS].iter().enumerate() {
+            self.machine.try_write_word(self.segment, base + k, *w)?;
+        }
+        Ok(())
     }
 
     /// Swaps the elements at `i` and `j` (a convenience for in-place
@@ -148,10 +217,16 @@ impl<T: Record> ExtVec<T> {
     }
 
     /// A sequential reader over elements `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at the caller's location if `start > end` or `end > len()`,
+    /// naming the method, the requested range and the length.
+    #[track_caller]
     pub fn range(&self, start: usize, end: usize) -> ScanReader<'_, T> {
         assert!(
             start <= end && end <= self.len,
-            "invalid range {start}..{end} (len {})",
+            "ExtVec::range: invalid range {start}..{end} (len {})",
             self.len
         );
         ScanReader {
@@ -164,8 +239,38 @@ impl<T: Record> ExtVec<T> {
     /// Materialises elements `[start, end)` into an in-core `Vec`, charging
     /// the read I/Os. The caller is responsible for registering the returned
     /// buffer with the machine's [`crate::MemGauge`] if it is kept around.
+    ///
+    /// # Panics
+    ///
+    /// Panics at the caller's location if `start > end` or `end > len()`,
+    /// naming the method, the requested range and the length.
+    #[track_caller]
     pub fn load_range(&self, start: usize, end: usize) -> Vec<T> {
+        assert!(
+            start <= end && end <= self.len,
+            "ExtVec::load_range: invalid range {start}..{end} (len {})",
+            self.len
+        );
         self.range(start, end).collect()
+    }
+
+    /// Fallible variant of [`ExtVec::load_range`]: permanent storage faults
+    /// surface as errors instead of panics (the partially materialised
+    /// buffer is dropped). Bounds violations still panic.
+    #[track_caller]
+    pub fn try_load_range(&self, start: usize, end: usize) -> Result<Vec<T>, StorageError> {
+        assert!(
+            start <= end && end <= self.len,
+            "ExtVec::try_load_range: invalid range {start}..{end} (len {})",
+            self.len
+        );
+        let mut reader = self.range(start, end);
+        // emlint: allow(unleased, reason = "mirrors load_range: the caller owns the gauge obligation for kept buffers")
+        let mut out = Vec::with_capacity(end - start);
+        while let Some(v) = reader.try_next()? {
+            out.push(v);
+        }
+        Ok(out)
     }
 
     /// Materialises the entire array into an in-core `Vec` (see
@@ -193,11 +298,13 @@ impl<T: Record> ExtVec<T> {
     ///
     /// # Panics
     ///
-    /// Panics if `start > end` or `end > len()`.
+    /// Panics at the caller's location if `start > end` or `end > len()`,
+    /// naming the method, the requested range and the length.
+    #[track_caller]
     pub fn slice(&self, start: usize, end: usize) -> ExtSlice<'_, T> {
         assert!(
             start <= end && end <= self.len,
-            "invalid slice {start}..{end} (len {})",
+            "ExtVec::slice: invalid slice {start}..{end} (len {})",
             self.len
         );
         ExtSlice {
@@ -252,14 +359,28 @@ impl<'a, T: Record> ExtSlice<'a, T> {
     ///
     /// # Panics
     ///
-    /// Panics if `idx >= len()`.
+    /// Panics at the caller's location if `idx >= len()`, naming the method,
+    /// the index and the view length.
+    #[track_caller]
     pub fn get(&self, idx: usize) -> T {
         assert!(
             idx < self.len(),
-            "index {idx} out of bounds ({})",
+            "ExtSlice::get: index {idx} out of bounds (len {})",
             self.len()
         );
         self.vec.get(self.start + idx)
+    }
+
+    /// Fallible variant of [`ExtSlice::get`]: permanent storage faults
+    /// surface as errors instead of panics. Bounds violations still panic.
+    #[track_caller]
+    pub fn try_get(&self, idx: usize) -> Result<T, StorageError> {
+        assert!(
+            idx < self.len(),
+            "ExtSlice::try_get: index {idx} out of bounds (len {})",
+            self.len()
+        );
+        self.vec.try_get(self.start + idx)
     }
 
     /// A sequential reader over the whole view.
@@ -271,11 +392,13 @@ impl<'a, T: Record> ExtSlice<'a, T> {
     ///
     /// # Panics
     ///
-    /// Panics if `from > to` or `to > len()`.
+    /// Panics at the caller's location if `from > to` or `to > len()`,
+    /// naming the method, the requested range and the view length.
+    #[track_caller]
     pub fn slice(&self, from: usize, to: usize) -> ExtSlice<'a, T> {
         assert!(
             from <= to && to <= self.len(),
-            "invalid sub-slice {from}..{to} (len {})",
+            "ExtSlice::slice: invalid sub-slice {from}..{to} (len {})",
             self.len()
         );
         ExtSlice {
@@ -289,6 +412,12 @@ impl<'a, T: Record> ExtSlice<'a, T> {
     /// (see [`ExtVec::load_range`] for the gauge obligation).
     pub fn load(&self) -> Vec<T> {
         self.vec.load_range(self.start, self.end)
+    }
+
+    /// Fallible variant of [`ExtSlice::load`]: permanent storage faults
+    /// surface as errors instead of panics.
+    pub fn try_load(&self) -> Result<Vec<T>, StorageError> {
+        self.vec.try_load_range(self.start, self.end)
     }
 
     /// The index of the partition point of `pred` (the first element for
@@ -349,6 +478,20 @@ pub struct ScanReader<'a, T: Record> {
     vec: &'a ExtVec<T>,
     pos: usize,
     end: usize,
+}
+
+impl<T: Record> ScanReader<'_, T> {
+    /// Fallible variant of [`Iterator::next`]: permanent storage faults
+    /// surface as errors instead of panics, and the reader does not advance
+    /// past the failing element.
+    pub fn try_next(&mut self) -> Result<Option<T>, StorageError> {
+        if self.pos >= self.end {
+            return Ok(None);
+        }
+        let v = self.vec.try_get(self.pos)?;
+        self.pos += 1;
+        Ok(Some(v))
+    }
 }
 
 impl<T: Record> Iterator for ScanReader<'_, T> {
@@ -571,5 +714,90 @@ mod tests {
         let m = machine();
         let v = ExtVec::from_slice(&m, &[1u64, 2]);
         let _ = v.slice(1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ExtVec::get: index 1 out of bounds (len 1)")]
+    fn bounds_panics_name_method_index_and_len() {
+        let m = machine();
+        let v = ExtVec::from_slice(&m, &[1u64]);
+        let _ = v.get(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ExtVec::load_range: invalid range 3..9 (len 4)")]
+    fn load_range_panics_name_the_requested_range() {
+        let m = machine();
+        let v = ExtVec::from_slice(&m, &[1u64, 2, 3, 4]);
+        let _ = v.load_range(3, 9);
+    }
+
+    #[test]
+    fn try_push_surfaces_no_space_and_rolls_back() {
+        let m = Machine::new(EmConfig::new(512, 64).with_disk_capacity(10));
+        let mut v: ExtVec<u64> = ExtVec::new(&m);
+        for i in 0..10u64 {
+            assert_eq!(v.try_push(i), Ok(()));
+        }
+        let err = v.try_push(10).unwrap_err();
+        assert_eq!(
+            err,
+            crate::StorageError::NoSpace {
+                capacity_words: 10,
+                requested_words: 11
+            }
+        );
+        assert_eq!(v.len(), 10, "the failed append must not grow the array");
+        assert_eq!(m.stats().disk_words, 10);
+        // Overwrites of existing words still work at capacity.
+        assert_eq!(v.try_set(0, 99), Ok(()));
+        assert_eq!(v.get(0), 99);
+    }
+
+    #[test]
+    fn try_push_rolls_back_partially_torn_multiword_records() {
+        // Capacity 5 words, 2-word records: the third push tears after its
+        // first word and must be truncated away entirely.
+        let m = Machine::new(EmConfig::new(512, 64).with_disk_capacity(5));
+        let mut v: ExtVec<(u32, u32, u32)> = ExtVec::new(&m);
+        assert!(v.try_push((1, 1, 1)).is_ok());
+        assert!(v.try_push((2, 2, 2)).is_ok());
+        assert!(v.try_push((3, 3, 3)).is_err());
+        assert_eq!(v.len(), 2);
+        assert_eq!(m.stats().disk_words, 4, "the torn word was rolled back");
+        assert_eq!(v.load_all(), vec![(1, 1, 1), (2, 2, 2)]);
+    }
+
+    #[test]
+    fn try_get_propagates_permanent_read_faults_without_panicking() {
+        // A 100% read-fault schedule exhausts every retry on the first
+        // uncached read.
+        let plan = crate::FaultPlan::new(4).with_read_faults(1000);
+        let m = Machine::with_faults(EmConfig::new(128, 64), plan);
+        let mut v: ExtVec<u64> = ExtVec::new(&m);
+        for i in 0..64 * 4u64 {
+            v.push(i);
+        }
+        m.cold_cache();
+        let err = v.try_get(0).unwrap_err();
+        assert!(matches!(err, crate::StorageError::ReadFailed { .. }));
+        // The infallible reader and scan reader agree via try_next.
+        let mut r = v.iter();
+        assert!(r.try_next().is_err());
+    }
+
+    #[test]
+    fn try_load_matches_load_on_healthy_storage() {
+        let m = machine();
+        let v = ExtVec::from_slice(&m, &(0..50u64).collect::<Vec<_>>());
+        assert_eq!(v.try_load_range(5, 15).unwrap(), v.load_range(5, 15));
+        let s = v.slice(10, 20);
+        assert_eq!(s.try_load().unwrap(), s.load());
+        assert_eq!(s.try_get(3), Ok(13));
+        let mut r = v.range(0, 3);
+        assert_eq!(r.try_next(), Ok(Some(0)));
+        assert_eq!(r.try_next(), Ok(Some(1)));
+        assert_eq!(r.try_next(), Ok(Some(2)));
+        assert_eq!(r.try_next(), Ok(None));
     }
 }

@@ -45,6 +45,35 @@
 //! tracked by [`MemGauge`]; every algorithm in the `trienum` crate asserts
 //! that its peak gauge usage stays within the configured memory budget, so a
 //! run verifies both the I/O count *and* the memory discipline.
+//!
+//! ## Storage backends and the error taxonomy
+//!
+//! Underneath the block cache, every *charged* transfer is routed through a
+//! [`Storage`] backend. Two backends exist:
+//!
+//! * the infallible in-memory default ([`storage::MemStorage`], what
+//!   [`Machine::new`] installs) — always succeeds at zero cost, so
+//!   fault-free runs account byte-identically to a simulator with no
+//!   storage layer at all;
+//! * [`FaultyStorage`] ([`Machine::with_faults`]) — injects the
+//!   deterministic, seeded faults of a [`FaultPlan`]: transient read
+//!   errors, torn writes, and a `CrashAt(io)` kill switch, recording every
+//!   injected fault in a queryable trace ([`Machine::fault_trace`]).
+//!
+//! Fault outcomes split into three severities:
+//!
+//! * **transient** — absorbed by the bounded [`RetryPolicy`]; each failed
+//!   attempt charges one extra I/O (tracked in [`RunStats::retry_io`]) and
+//!   exponential backoff work (tracked in [`RunStats::retry_work`]);
+//! * **permanent** — retry exhaustion ([`StorageError::ReadFailed`],
+//!   [`StorageError::TornWrite`]) or a full disk
+//!   ([`StorageError::NoSpace`], armed via
+//!   [`EmConfig::with_disk_capacity`]); surfaced as `Result`s by the
+//!   `try_*` accessors of [`ExtVec`] / [`ExtSlice`] / [`ScanReader`], and
+//!   as descriptive panics by the infallible accessors;
+//! * **crash** — the kill switch; raised as a panic carrying a
+//!   [`CrashPoint`] payload, to be caught by a chaos harness that resumes
+//!   the computation from its last checkpoint.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,17 +92,21 @@
 mod cache;
 mod config;
 mod extvec;
+mod faults;
 mod gauge;
 mod machine;
 mod record;
 mod stats;
+pub mod storage;
 
 pub use config::EmConfig;
 pub use extvec::{ExtSlice, ExtVec, ScanReader};
+pub use faults::{CrashPoint, FaultEvent, FaultKind, FaultPlan, FaultyStorage};
 pub use gauge::{MemGauge, MemLease, PhaseSnapshot};
 pub use machine::Machine;
 pub use record::Record;
 pub use stats::{IoStats, RunStats};
+pub use storage::{RetryPolicy, Storage, StorageError, TransferDir};
 
 #[cfg(test)]
 mod tests {

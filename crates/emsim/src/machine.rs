@@ -5,8 +5,10 @@ use std::rc::Rc;
 
 use crate::cache::{block_key, LruCache};
 use crate::config::EmConfig;
+use crate::faults::{CrashPoint, FaultEvent, FaultPlan, FaultyStorage};
 use crate::gauge::MemGauge;
 use crate::stats::{IoStats, RunStats};
+use crate::storage::{MemStorage, Storage, StorageError, TransferDir};
 
 struct Segment {
     words: Vec<u64>,
@@ -22,6 +24,43 @@ struct MachineInner {
     disk_words: u64,
     peak_disk_words: u64,
     work: u64,
+    storage: Box<dyn Storage>,
+    /// 0-based count of *logical* charged transfers (retries excluded):
+    /// the ordinal stream fed to the storage backend, and the coordinate
+    /// system of `CrashAt` kill switches.
+    transfers: u64,
+    retry_io: u64,
+    retry_work: u64,
+}
+
+impl MachineInner {
+    /// Routes one charged block transfer through the storage backend, then
+    /// bumps the direction counter plus any absorbed retry cost.
+    ///
+    /// A `Crashed` verdict becomes a panic carrying a [`CrashPoint`] — the
+    /// simulation of the process dying mid-transfer. Other permanent faults
+    /// (retry exhaustion, disk-full) return as errors without charging the
+    /// doomed transfer: the run is being abandoned, not accounted.
+    fn charge(&mut self, dir: TransferDir) -> Result<(), StorageError> {
+        let ordinal = self.transfers;
+        self.transfers += 1;
+        let cost = match self.storage.transfer(dir, ordinal) {
+            Ok(cost) => cost,
+            Err(StorageError::Crashed { io }) => std::panic::panic_any(CrashPoint { io }),
+            Err(permanent) => return Err(permanent),
+        };
+        let extra = u64::from(cost.failed_attempts);
+        match dir {
+            TransferDir::Read => self.io.reads += 1 + extra,
+            TransferDir::Write => self.io.writes += 1 + extra,
+        }
+        if cost.failed_attempts > 0 {
+            self.retry_io += extra;
+            self.work += cost.backoff_work;
+            self.retry_work += cost.backoff_work;
+        }
+        Ok(())
+    }
 }
 
 /// A cheap, clonable handle to a simulated external-memory machine.
@@ -42,9 +81,21 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Creates a machine with the given memory/block configuration and a cold
-    /// cache.
+    /// Creates a machine with the given memory/block configuration, a cold
+    /// cache, and the infallible [`MemStorage`] backend.
     pub fn new(config: EmConfig) -> Self {
+        Self::with_storage(config, Box::new(MemStorage))
+    }
+
+    /// Creates a machine whose storage executes the given fault plan: reads
+    /// and writes fail per the plan's seeded schedule, retries are charged
+    /// to the `retry_io`/`retry_work` counters, and the `CrashAt` kill
+    /// switch (if armed) panics with a [`CrashPoint`] payload mid-run.
+    pub fn with_faults(config: EmConfig, plan: FaultPlan) -> Self {
+        Self::with_storage(config, Box::new(FaultyStorage::new(plan)))
+    }
+
+    fn with_storage(config: EmConfig, storage: Box<dyn Storage>) -> Self {
         Self {
             inner: Rc::new(RefCell::new(MachineInner {
                 config,
@@ -55,6 +106,10 @@ impl Machine {
                 disk_words: 0,
                 peak_disk_words: 0,
                 work: 0,
+                storage,
+                transfers: 0,
+                retry_io: 0,
+                retry_work: 0,
             })),
             gauge: MemGauge::new(),
             config,
@@ -86,6 +141,8 @@ impl Machine {
             mem_words_in_use: self.gauge.in_use(),
             peak_mem_words: self.gauge.peak(),
             work_ops: inner.work,
+            retry_io: inner.retry_io,
+            retry_work: inner.retry_work,
         }
     }
 
@@ -94,13 +151,31 @@ impl Machine {
         self.inner.borrow().io
     }
 
+    /// The number of logical charged transfers so far — the coordinate
+    /// system of [`FaultPlan::with_crash_at`]. Equals `io().total()` when no
+    /// retries have been absorbed (retries charge extra I/Os but share the
+    /// ordinal of the transfer they retried).
+    pub fn transfers(&self) -> u64 {
+        self.inner.borrow().transfers
+    }
+
+    /// The fault events the storage backend recorded so far (always empty on
+    /// the infallible default backend).
+    pub fn fault_trace(&self) -> Vec<FaultEvent> {
+        self.inner.borrow().storage.trace().to_vec()
+    }
+
     /// Evicts the entire cache (charging write I/Os for dirty blocks), so
     /// that a subsequent measurement starts cold. Returns the number of
     /// write-backs charged.
     pub fn cold_cache(&self) -> u64 {
         let mut inner = self.inner.borrow_mut();
         let writes = inner.cache.clear();
-        inner.io.writes += writes;
+        for _ in 0..writes {
+            if let Err(e) = inner.charge(TransferDir::Write) {
+                panic!("unrecoverable storage fault while emptying the cache: {e}");
+            }
+        }
         writes
     }
 
@@ -109,7 +184,11 @@ impl Machine {
     pub fn flush(&self) -> u64 {
         let mut inner = self.inner.borrow_mut();
         let writes = inner.cache.flush();
-        inner.io.writes += writes;
+        for _ in 0..writes {
+            if let Err(e) = inner.charge(TransferDir::Write) {
+                panic!("unrecoverable storage fault while flushing the cache: {e}");
+            }
+        }
         writes
     }
 
@@ -162,25 +241,67 @@ impl Machine {
     }
 
     /// Reads the word at `idx` of segment `seg`, charging a read I/O if the
-    /// containing block is not cached.
+    /// containing block is not cached. Panics on permanent storage faults;
+    /// see [`Machine::try_read_word`] for the fallible variant.
+    #[track_caller]
     pub(crate) fn read_word(&self, seg: u32, idx: usize) -> u64 {
+        match self.try_read_word(seg, idx) {
+            Ok(word) => word,
+            Err(e) => panic!("unrecoverable storage fault on read: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`Machine::read_word`]: permanent storage faults
+    /// (retry exhaustion) surface as errors instead of panics. A `CrashAt`
+    /// kill switch still panics — a crash is not handleable.
+    pub(crate) fn try_read_word(&self, seg: u32, idx: usize) -> Result<u64, StorageError> {
         let mut inner = self.inner.borrow_mut();
         let block = (idx / inner.config.block_words) as u64;
         let touch = inner.cache.touch(block_key(seg, block), false);
         if touch.miss {
-            inner.io.reads += 1;
+            if let Err(e) = inner.charge(TransferDir::Read) {
+                // The block never arrived: evict the speculative cache entry
+                // so a later retry faces (and is charged for) a real miss.
+                inner.cache.discard(block_key(seg, block));
+                return Err(e);
+            }
         }
         if touch.writeback {
-            inner.io.writes += 1;
+            inner.charge(TransferDir::Write)?;
         }
-        inner.segments[seg as usize].words[idx]
+        Ok(inner.segments[seg as usize].words[idx])
     }
 
     /// Writes `value` at `idx` of segment `seg` (which must be `≤ len`,
     /// appending when equal), charging I/Os for cache misses and dirty
-    /// evictions.
+    /// evictions. Panics on permanent storage faults (including disk-full);
+    /// see [`Machine::try_write_word`] for the fallible variant.
+    #[track_caller]
     pub(crate) fn write_word(&self, seg: u32, idx: usize, value: u64) {
+        if let Err(e) = self.try_write_word(seg, idx, value) {
+            panic!("unrecoverable storage fault on write: {e}");
+        }
+    }
+
+    /// Fallible variant of [`Machine::write_word`]: permanent storage faults
+    /// (torn-write retry exhaustion, disk-full) surface as errors instead of
+    /// panics. A `CrashAt` kill switch still panics.
+    pub(crate) fn try_write_word(
+        &self,
+        seg: u32,
+        idx: usize,
+        value: u64,
+    ) -> Result<(), StorageError> {
         let mut inner = self.inner.borrow_mut();
+        if let Some(capacity_words) = inner.config.disk_capacity_words {
+            let appending = idx == inner.segments[seg as usize].words.len();
+            if appending && inner.disk_words + 1 > capacity_words {
+                return Err(StorageError::NoSpace {
+                    capacity_words,
+                    requested_words: inner.disk_words + 1,
+                });
+            }
+        }
         let block = (idx / inner.config.block_words) as u64;
         let touch = inner.cache.touch(block_key(seg, block), true);
         // Appending a word to a fresh block does not require reading the
@@ -192,11 +313,16 @@ impl Machine {
                 * inner.config.block_words;
             let fresh_append = idx == segment.words.len() && idx == block_start;
             if !fresh_append {
-                inner.io.reads += 1;
+                if let Err(e) = inner.charge(TransferDir::Read) {
+                    // Read-modify-write fill failed: evict the speculative
+                    // entry so a retry faces a real miss again.
+                    inner.cache.discard(block_key(seg, block));
+                    return Err(e);
+                }
             }
         }
         if touch.writeback {
-            inner.io.writes += 1;
+            inner.charge(TransferDir::Write)?;
         }
         let appended;
         {
@@ -224,6 +350,7 @@ impl Machine {
                 inner.peak_disk_words = inner.disk_words;
             }
         }
+        Ok(())
     }
 
     pub(crate) fn truncate_segment(&self, seg: u32, new_words: usize) {
@@ -323,5 +450,90 @@ mod tests {
         let m = Machine::new(EmConfig::default());
         let seg = m.new_segment();
         m.write_word(seg, 5, 1);
+    }
+
+    fn thrash(m: &Machine) {
+        let seg = m.new_segment();
+        for i in 0..64 * 16usize {
+            m.write_word(seg, i, i as u64);
+        }
+        m.cold_cache();
+        for i in 0..64 * 16usize {
+            let _ = m.read_word(seg, i);
+        }
+    }
+
+    #[test]
+    fn fault_free_machines_report_no_retries() {
+        let m = Machine::new(EmConfig::new(256, 64));
+        thrash(&m);
+        let s = m.stats();
+        assert_eq!(s.retry_io, 0);
+        assert_eq!(s.retry_work, 0);
+        assert!(m.fault_trace().is_empty());
+        assert_eq!(
+            m.transfers(),
+            s.io.total(),
+            "without retries, every charged I/O is one logical transfer"
+        );
+    }
+
+    #[test]
+    fn transient_faults_charge_retry_counters_deterministically() {
+        let plan = crate::FaultPlan::new(77)
+            .with_read_faults(150)
+            .with_torn_writes(100);
+        let run = || {
+            let m = Machine::with_faults(EmConfig::new(256, 64), plan);
+            thrash(&m);
+            (m.stats(), m.fault_trace())
+        };
+        let (a_stats, a_trace) = run();
+        let (b_stats, b_trace) = run();
+        assert_eq!(a_stats, b_stats, "same plan, same run → same accounting");
+        assert_eq!(a_trace, b_trace, "same plan, same run → same fault trace");
+        assert!(a_stats.retry_io > 0, "a 15%/10% schedule must fire");
+        assert!(a_stats.retry_work > 0, "backoff must be charged as work");
+        assert!(
+            a_stats.io.total() > m_baseline_io(),
+            "retried transfers cost extra I/Os"
+        );
+        assert!(a_stats.io.total() - m_baseline_io() == a_stats.retry_io);
+    }
+
+    fn m_baseline_io() -> u64 {
+        let m = Machine::new(EmConfig::new(256, 64));
+        thrash(&m);
+        m.stats().io.total()
+    }
+
+    #[test]
+    fn crash_at_panics_with_a_typed_payload() {
+        let plan = crate::FaultPlan::new(0).with_crash_at(10);
+        let m = Machine::with_faults(EmConfig::new(256, 64), plan);
+        let m2 = m.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || thrash(&m2)));
+        let payload = result.expect_err("the kill switch must fire");
+        let crash = payload
+            .downcast_ref::<crate::CrashPoint>()
+            .expect("crash panics carry a CrashPoint");
+        assert_eq!(crash.io, 10);
+        assert_eq!(m.transfers(), 11, "the crash fired on the 11th transfer");
+        assert_eq!(
+            m.fault_trace().last().unwrap().kind,
+            crate::FaultKind::Crash
+        );
+    }
+
+    #[test]
+    fn machine_survives_to_be_inspected_after_a_crash() {
+        // After catching the unwind, the machine handle still answers:
+        // counters, trace, and further I/O all work (the "disk" survived).
+        let plan = crate::FaultPlan::new(0).with_crash_at(5);
+        let m = Machine::with_faults(EmConfig::new(256, 64), plan);
+        let m2 = m.clone();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || thrash(&m2)));
+        assert!(m.stats().io.total() <= 5);
+        assert!(!m.fault_trace().is_empty());
     }
 }

@@ -77,6 +77,13 @@ pub struct RunStats {
     /// Coarse RAM-operation counter incremented by algorithms
     /// (validates the `O(E^{3/2})` work-optimality remark).
     pub work_ops: u64,
+    /// The subset of [`RunStats::io`] charged for *retried* transfers — the
+    /// extra block transfers absorbed by the storage layer's bounded-retry
+    /// loop. Zero on the infallible default backend.
+    pub retry_io: u64,
+    /// The subset of [`RunStats::work_ops`] charged as simulated retry
+    /// backoff. Zero on the infallible default backend.
+    pub retry_work: u64,
 }
 
 impl RunStats {
@@ -89,6 +96,8 @@ impl RunStats {
             mem_words_in_use: self.mem_words_in_use,
             peak_mem_words: self.peak_mem_words,
             work_ops: self.work_ops - earlier.work_ops,
+            retry_io: self.retry_io - earlier.retry_io,
+            retry_work: self.retry_work - earlier.retry_work,
         }
     }
 }

@@ -1,0 +1,232 @@
+//! Storage backends beneath the simulated disk: the error taxonomy, the
+//! retry policy, and the infallible in-memory default.
+//!
+//! Every *charged* block transfer of the [`crate::Machine`] — a cache-miss
+//! read, a read-modify-write fill, a dirty eviction, a flush — is routed
+//! through a [`Storage`] backend before the I/O counters are bumped. The
+//! backend decides whether the transfer succeeds, and at what retry cost:
+//!
+//! * [`MemStorage`] (the default) always succeeds at zero cost, so the
+//!   accounting of fault-free runs is byte-identical to a machine without a
+//!   storage layer at all — the fault machinery is pay-for-what-you-use.
+//! * [`crate::FaultyStorage`] injects deterministic, seeded faults: transient
+//!   read errors and torn writes (absorbed by a bounded [`RetryPolicy`] and
+//!   charged to the `retry_io` / `retry_work` counters of
+//!   [`crate::RunStats`]), plus a `CrashAt` kill switch that aborts the run
+//!   mid-transfer.
+//!
+//! Permanent failures — retry exhaustion and disk-full — surface as typed
+//! [`StorageError`]s through the `try_*` accessors of [`crate::ExtVec`];
+//! the infallible accessors panic with the error's message.
+
+use std::fmt;
+
+/// Direction of a block transfer, as seen by a [`Storage`] backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferDir {
+    /// Disk-to-memory: a cache miss or a read-modify-write fill.
+    Read,
+    /// Memory-to-disk: a dirty eviction or an explicit flush.
+    Write,
+}
+
+/// Typed errors the storage layer can surface.
+///
+/// `Crashed` never reaches callers as a value: the machine converts it into
+/// a panic carrying a [`crate::CrashPoint`] payload, because a crash is by
+/// definition not handleable by the running algorithm — only by a harness
+/// that catches the unwind and resumes from a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageError {
+    /// A read kept failing after every allowed attempt.
+    ReadFailed {
+        /// Ordinal of the failing transfer (0-based count of charged transfers).
+        io: u64,
+        /// Number of attempts made, i.e. the policy's `max_attempts`.
+        attempts: u32,
+    },
+    /// A write kept tearing mid-block after every allowed attempt.
+    TornWrite {
+        /// Ordinal of the failing transfer.
+        io: u64,
+        /// Number of attempts made.
+        attempts: u32,
+    },
+    /// The disk is full: an append would exceed the configured capacity.
+    NoSpace {
+        /// The configured capacity, in words.
+        capacity_words: u64,
+        /// The disk usage the append would have required, in words.
+        requested_words: u64,
+    },
+    /// The `CrashAt` kill switch fired at this transfer ordinal.
+    Crashed {
+        /// Ordinal of the transfer at which the crash fired.
+        io: u64,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ReadFailed { io, attempts } => {
+                write!(
+                    f,
+                    "read failed permanently at I/O #{io} after {attempts} attempts"
+                )
+            }
+            StorageError::TornWrite { io, attempts } => {
+                write!(
+                    f,
+                    "write torn permanently at I/O #{io} after {attempts} attempts"
+                )
+            }
+            StorageError::NoSpace {
+                capacity_words,
+                requested_words,
+            } => write!(
+                f,
+                "disk full: append needs {requested_words} words, capacity is {capacity_words}"
+            ),
+            StorageError::Crashed { io } => write!(f, "storage crashed at I/O #{io}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Bounded-retry policy with simulated exponential backoff.
+///
+/// A transfer is attempted up to `max_attempts` times; each failed attempt
+/// charges one extra I/O in the transfer's direction (accounted under
+/// `retry_io`) and an exponentially growing backoff of
+/// `backoff_work << k` work units for the `k`-th failure (accounted under
+/// `retry_work`). If all attempts fail the fault is permanent and surfaces
+/// as a [`StorageError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts per transfer (at least 1).
+    pub max_attempts: u32,
+    /// Work units charged for the first backoff; doubles per further failure.
+    pub backoff_work: u64,
+}
+
+impl RetryPolicy {
+    /// Creates a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn new(max_attempts: u32, backoff_work: u64) -> Self {
+        assert!(max_attempts >= 1, "a transfer needs at least one attempt");
+        Self {
+            max_attempts,
+            backoff_work,
+        }
+    }
+
+    /// Total simulated backoff work for `failures` consecutive failed
+    /// attempts: `Σ_{k<failures} backoff_work · 2^k`.
+    pub fn backoff_cost(&self, failures: u32) -> u64 {
+        let mut total = 0u64;
+        for k in 0..failures {
+            total = total.saturating_add(self.backoff_work.saturating_mul(1u64 << k.min(62)));
+        }
+        total
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, first backoff 8 work units.
+    fn default() -> Self {
+        Self::new(4, 8)
+    }
+}
+
+/// Retry cost absorbed by one ultimately-successful transfer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryCost {
+    /// Failed attempts before the transfer succeeded.
+    pub failed_attempts: u32,
+    /// Simulated backoff work charged for those failures.
+    pub backoff_work: u64,
+}
+
+/// A storage backend: decides, per charged block transfer, whether the
+/// transfer succeeds and at what retry cost.
+///
+/// The machine calls [`Storage::transfer`] exactly once per *logical*
+/// transfer, with a running 0-based ordinal; the backend's decision must be
+/// a pure function of `(its own seed, ordinal, direction)` so that fault
+/// schedules are reproducible run over run.
+pub trait Storage {
+    /// Attempts the transfer with ordinal `io` in direction `dir`.
+    ///
+    /// `Ok` carries the retry cost absorbed (zero for a clean transfer);
+    /// `Err` is a permanent fault the caller must surface or convert into a
+    /// crash.
+    fn transfer(&mut self, dir: TransferDir, io: u64) -> Result<RetryCost, StorageError>;
+
+    /// The fault events recorded so far (empty for infallible backends).
+    fn trace(&self) -> &[crate::FaultEvent] {
+        &[]
+    }
+}
+
+/// The default infallible in-memory backend: every transfer succeeds at zero
+/// retry cost, so fault-free machines account identically to the pre-fault
+/// simulator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemStorage;
+
+impl Storage for MemStorage {
+    fn transfer(&mut self, _dir: TransferDir, _io: u64) -> Result<RetryCost, StorageError> {
+        Ok(RetryCost::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_is_free_and_infallible() {
+        let mut s = MemStorage;
+        for io in 0..1000 {
+            assert_eq!(s.transfer(TransferDir::Read, io), Ok(RetryCost::default()));
+            assert_eq!(s.transfer(TransferDir::Write, io), Ok(RetryCost::default()));
+        }
+        assert!(s.trace().is_empty());
+    }
+
+    #[test]
+    fn backoff_cost_is_exponential() {
+        let p = RetryPolicy::new(5, 8);
+        assert_eq!(p.backoff_cost(0), 0);
+        assert_eq!(p.backoff_cost(1), 8);
+        assert_eq!(p.backoff_cost(2), 8 + 16);
+        assert_eq!(p.backoff_cost(3), 8 + 16 + 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_attempts_rejected() {
+        let _ = RetryPolicy::new(0, 1);
+    }
+
+    #[test]
+    fn errors_display_their_parameters() {
+        let e = StorageError::ReadFailed { io: 7, attempts: 4 };
+        assert!(format!("{e}").contains("#7"));
+        let e = StorageError::NoSpace {
+            capacity_words: 100,
+            requested_words: 101,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("101") && s.contains("100"));
+        let e = StorageError::Crashed { io: 3 };
+        assert!(format!("{e}").contains("#3"));
+        let e = StorageError::TornWrite { io: 9, attempts: 2 };
+        assert!(format!("{e}").contains("torn"));
+    }
+}
