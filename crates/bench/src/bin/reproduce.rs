@@ -277,6 +277,45 @@ fn main() {
         }
     }
 
+    if want("e10") {
+        let outcome = experiment_e10(quick);
+        let title = "E10: multi-worker PEM sweep — P in {1,2,4,8}, per-worker machines";
+        println!("{}", render_table(title, &outcome.rows));
+        println!(
+            "{}",
+            render_table(
+                "E10: per-worker I/O (sorted by worker index)",
+                &outcome.worker_rows
+            )
+        );
+        // Wall-clock is printed but deliberately kept out of the JSON
+        // record: timing is machine-dependent, the record is byte-stable.
+        println!(
+            "{}",
+            render_table(
+                "E10: wall-clock (stdout only, not recorded)",
+                &outcome.timing
+            )
+        );
+        for gate in &outcome.gates {
+            match gate.passed {
+                true => println!("{} gate: {}", gate.name, gate.detail),
+                false => failures.push(format!("E10 {} gate: {}", gate.name, gate.detail)),
+            }
+        }
+        let mut recorded = outcome.rows.clone();
+        recorded.extend(outcome.worker_rows.iter().cloned());
+        write_record(
+            &json_dir,
+            "e10",
+            title,
+            &recorded,
+            &[],
+            &outcome.gates,
+            &mut failures,
+        );
+    }
+
     if !failures.is_empty() {
         for failure in &failures {
             eprintln!("gate FAILED: {failure}");

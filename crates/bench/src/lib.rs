@@ -18,8 +18,9 @@ use graphgen::{generators, naive, Graph};
 use trienum::checkpoint::atomic_write;
 use trienum::lower_bound::LowerBound;
 use trienum::{
-    count_triangles, enumerate_triangles_with_recovery, measure_random_coloring_balance,
-    resume_enumeration, Algorithm, Checkpoint, CheckpointSpec, CollectingSink, ExtGraph, RunReport,
+    count_triangles, enumerate_triangles, enumerate_triangles_sharded,
+    enumerate_triangles_with_recovery, measure_random_coloring_balance, resume_enumeration,
+    Algorithm, Checkpoint, CheckpointSpec, CollectingSink, ExtGraph, RunReport, ShardPlan,
 };
 
 /// One row of an experiment table: a label plus named numeric columns.
@@ -1115,6 +1116,172 @@ pub fn write_fault_trace_record(
     let path = dir.join("E9_FAULT_TRACE.json");
     atomic_write(&path, fault_trace_json(events).as_bytes())?;
     Ok(path)
+}
+
+/// Worker counts swept by the E10 multi-worker (PEM) experiment.
+pub const E10_WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Ceiling on `max_worker_io / sum_io` at the `P = 4` sweep point, for both
+/// sharded drivers. Perfect balance is `1/P = 0.25`; the replicated preamble
+/// (graph scan, partitioning, the derandomized greedy levels) is charged to
+/// every worker and keeps the ratio pinned near `1/P` even when the owned
+/// units are skewed, so 0.35 gives ~40% headroom while still catching a
+/// sharding regression that lets one worker own a constant fraction of the
+/// unit stream (that costs ≥ 0.5 and trips the gate immediately).
+pub const E10_BALANCE_MAX_FRACTION: f64 = 0.35;
+
+/// Everything the E10 worker sweep produced.
+pub struct E10Outcome {
+    /// One row per `(driver, P)` sweep point: triangles, PEM cost
+    /// (`max_io`), total I/O, balance, merge I/O. Fully deterministic —
+    /// these are what `BENCH_E10.json` records.
+    pub rows: Vec<Row>,
+    /// One row per worker of every sweep point (read/write/total transfers),
+    /// sorted by worker index. Appended after [`E10Outcome::rows`] in the
+    /// JSON record.
+    pub worker_rows: Vec<Row>,
+    /// Wall-clock seconds and speedup vs the sequential driver. Printed to
+    /// stdout only — timing is machine-dependent and would break the
+    /// byte-stable JSON record.
+    pub timing: Vec<Row>,
+    /// Gate verdicts: worker balance, multiset invariance, single-worker
+    /// I/O parity.
+    pub gates: Vec<GateOutcome>,
+}
+
+/// **E10 — multi-worker PEM enumeration.** Runs both randomized drivers
+/// under the work-unit scheduler ([`enumerate_triangles_sharded`]) for
+/// `P ∈ {1, 2, 4, 8}` workers, each worker on its own simulated machine,
+/// and holds the sweep to three gates:
+///
+/// * **balance** — at `P = 4` the PEM cost (the *maximum* per-worker I/O,
+///   which is what the PEM model charges) stays within
+///   [`E10_BALANCE_MAX_FRACTION`] of the total;
+/// * **multiset invariance** — every worker count delivers the bit-identical
+///   sorted triangle multiset of the sequential driver;
+/// * **single-worker parity** — at `P = 1` the workers' summed I/O equals
+///   the sequential driver's exactly (the sharding layer is free when
+///   unused).
+pub fn experiment_e10(quick: bool) -> E10Outcome {
+    let (v, e, cfg) = if quick {
+        (500, 4_000, EmConfig::new(256, 32))
+    } else {
+        (1_000, 12_000, EmConfig::new(512, 32))
+    };
+    let g = generators::erdos_renyi(v, e, 6);
+    let drivers = [
+        ("aware", Algorithm::CacheAwareRandomized { seed: 0xA11CE }),
+        (
+            "oblivious",
+            Algorithm::CacheObliviousRandomized { seed: 0xA11CE },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut worker_rows = Vec::new();
+    let mut timing = Vec::new();
+    let mut balance: Result<(), String> = Ok(());
+    let mut multiset: Result<(), String> = Ok(());
+    let mut parity: Result<(), String> = Ok(());
+    let record = |slot: &mut Result<(), String>, err: String| {
+        if slot.is_ok() {
+            *slot = Err(err);
+        }
+    };
+
+    for (label, alg) in drivers {
+        // Sequential reference: the multiset oracle and the P = 1 parity
+        // denominator.
+        let mut seq_sink = CollectingSink::new();
+        let seq_start = std::time::Instant::now();
+        let seq = enumerate_triangles(&g, alg, cfg, &mut seq_sink);
+        let seq_secs = seq_start.elapsed().as_secs_f64();
+        let mut reference = seq_sink.into_triangles();
+        reference.sort_unstable();
+
+        for p in E10_WORKER_SWEEP {
+            let mut sink = CollectingSink::new();
+            let start = std::time::Instant::now();
+            let sharded = enumerate_triangles_sharded(&g, alg, cfg, ShardPlan::new(p), &mut sink)
+                .expect("the paper drivers support sharded execution");
+            let secs = start.elapsed().as_secs_f64();
+            let w = &sharded.workers;
+
+            // The sharded sink receives the k-way-merged stream, which is
+            // already globally sorted — compare it to the sorted reference
+            // without re-sorting, so an out-of-order merge also fails here.
+            let got = sink.into_triangles();
+            if got != reference {
+                record(
+                    &mut multiset,
+                    format!(
+                        "{label} P={p}: sharded multiset ({} triangles) differs from the \
+                         sequential driver's ({})",
+                        got.len(),
+                        reference.len()
+                    ),
+                );
+            }
+            if p == 1 && w.sum_io != seq.io.total() {
+                record(
+                    &mut parity,
+                    format!(
+                        "{label} P=1: single-worker I/O {} != sequential driver's {} — the \
+                         sharding layer must be free when unused",
+                        w.sum_io,
+                        seq.io.total()
+                    ),
+                );
+            }
+            if p == 4 && w.max_io as f64 > E10_BALANCE_MAX_FRACTION * w.sum_io as f64 {
+                record(
+                    &mut balance,
+                    format!(
+                        "{label} P=4: max worker I/O {} exceeds {E10_BALANCE_MAX_FRACTION} x \
+                         sum_io {} — the unit stream is not balancing",
+                        w.max_io, w.sum_io
+                    ),
+                );
+            }
+
+            rows.push(
+                Row::new(format!("{label} P={p}"))
+                    .col("triangles", sharded.report.triangles as f64)
+                    .col("max_io", w.max_io as f64)
+                    .col("sum_io", w.sum_io as f64)
+                    .col("balance", w.balance)
+                    .col("max_io/sum", w.max_io as f64 / w.sum_io.max(1) as f64)
+                    .col("merge_io", sharded.merge_io.total() as f64),
+            );
+            timing.push(
+                Row::new(format!("{label} P={p}"))
+                    .col("wall_s", secs)
+                    .col("speedup", seq_secs / secs.max(1e-9)),
+            );
+            // `per_worker` is indexed by worker id (the pool sorts by worker
+            // index before reporting), so these rows are deterministic.
+            for (i, io) in w.per_worker.iter().enumerate() {
+                worker_rows.push(
+                    Row::new(format!("{label} P={p} w{i}"))
+                        .col("reads", io.reads as f64)
+                        .col("writes", io.writes as f64)
+                        .col("io", io.total() as f64),
+                );
+            }
+        }
+    }
+
+    let gates = vec![
+        GateOutcome::of("E10_WORKER_BALANCE", &balance),
+        GateOutcome::of("E10_MULTISET_INVARIANCE", &multiset),
+        GateOutcome::of("E10_SINGLE_WORKER_PARITY", &parity),
+    ];
+    E10Outcome {
+        rows,
+        worker_rows,
+        timing,
+        gates,
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ use crate::stats::PhaseRecorder;
 use crate::util::{
     degree_table, isqrt_u128, remove_incident_edges, vertices_with_degree, SortKind,
 };
+use crate::workunit::{ShardCursor, WorkUnitKind};
 use crate::Step3Strategy;
 
 use emsim::ExtVec;
@@ -52,6 +53,30 @@ pub(crate) fn run_cache_aware_randomized(
     sink: &mut dyn TriangleSink,
     recorder: &mut PhaseRecorder,
 ) -> ColoredRunOutcome {
+    run_cache_aware_randomized_sharded(
+        graph,
+        cfg,
+        seed,
+        strategy,
+        sink,
+        recorder,
+        &mut ShardCursor::solo(),
+    )
+}
+
+/// [`run_cache_aware_randomized`] under a shard cursor: the worker executes
+/// only the step-1 vertices and step-3 pivot pairs it owns. The colouring
+/// depends on `seed` alone — never on the worker — so every worker agrees on
+/// the classes and the unit numbering.
+pub(crate) fn run_cache_aware_randomized_sharded(
+    graph: &ExtGraph,
+    cfg: EmConfig,
+    seed: u64,
+    strategy: Step3Strategy,
+    sink: &mut dyn TriangleSink,
+    recorder: &mut PhaseRecorder,
+    shard: &mut ShardCursor,
+) -> ColoredRunOutcome {
     let e = graph.edge_count();
     let c = number_of_colors(e, cfg.mem_words);
     let coloring = RandomColoring::new(c, seed);
@@ -63,6 +88,7 @@ pub(crate) fn run_cache_aware_randomized(
         strategy,
         sink,
         recorder,
+        shard,
     )
 }
 
@@ -115,6 +141,15 @@ pub(crate) fn split_high_low_degree(
 /// [`Step3Strategy::PivotGrouped`] loop, or the
 /// [`Step3Strategy::PerTripleReference`] loop the equivalence tests pin the
 /// production path against.
+///
+/// Work units (sharded runs): each step-1 high-degree vertex is one unit, in
+/// ascending vertex order; each *non-empty* step-3 pivot pair `(τ2, τ3)` is
+/// one unit, in loop order. Both streams are determined by the colouring
+/// (hence the seed) alone, so the numbering is identical on every worker.
+/// Step 2 — building the partition — is replicated on every worker: all
+/// workers need the class index. With a solo cursor every claim succeeds and
+/// this is exactly the sequential driver.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_colored(
     graph: &ExtGraph,
     cfg: EmConfig,
@@ -123,6 +158,7 @@ pub(crate) fn run_colored(
     strategy: Step3Strategy,
     sink: &mut dyn TriangleSink,
     recorder: &mut PhaseRecorder,
+    shard: &mut ShardCursor,
 ) -> ColoredRunOutcome {
     let machine = graph.machine().clone();
     let edges = graph.edges();
@@ -137,6 +173,9 @@ pub(crate) fn run_colored(
         // first high-degree vertex of that triangle, so that triangles with
         // several high-degree vertices are emitted exactly once.
         for &v in &high {
+            if !shard.claim(WorkUnitKind::HighDegreeVertex { v }) {
+                continue;
+            }
             let high_ref = &high;
             triangles += enumerate_through_vertex(
                 edges,
@@ -184,8 +223,14 @@ pub(crate) fn run_colored(
             for t2 in 0..c {
                 for t3 in 0..c {
                     // Skip-fast: an empty pivot class is rejected on the
-                    // in-core offset table before any allocation.
+                    // in-core offset table before any allocation. The skip
+                    // precedes the unit claim — the class index is
+                    // replicated, so every worker skips the same pairs and
+                    // the unit stream stays aligned.
                     if partition.class_len(t2, t3) == 0 {
+                        continue;
+                    }
+                    if !shard.claim(WorkUnitKind::PivotPair { t2, t3 }) {
                         continue;
                     }
                     let pivots = partition.class_slice(t2, t3);
@@ -223,6 +268,13 @@ pub(crate) fn run_colored(
             }
         }
         Step3Strategy::PerTripleReference => {
+            // The reference loop is a test-only equivalence baseline; the
+            // sharded scheduler always selects the production strategy, so
+            // the loop is not decomposed into units.
+            debug_assert!(
+                shard.is_solo(),
+                "the per-triple reference loop only runs sequentially"
+            );
             // The pre-grouping loop: one Lemma 2 invocation per colour
             // triple, with materialised pivot copies, per-triple re-merged
             // edge sets and a per-triangle cone-colour filter.
@@ -507,7 +559,16 @@ mod tests {
             let eg = ExtGraph::load(&machine, &g);
             let mut sink = StrictSink::new(); // panics on duplicate emission
             let mut rec = PhaseRecorder::new(machine.gauge());
-            let out = run_colored(&eg, cfg, 3, &|_| 0, strategy, &mut sink, &mut rec);
+            let out = run_colored(
+                &eg,
+                cfg,
+                3,
+                &|_| 0,
+                strategy,
+                &mut sink,
+                &mut rec,
+                &mut ShardCursor::solo(),
+            );
             assert_eq!(out.triangles, expected, "{strategy:?}");
             assert_eq!(sink.len() as u64, expected, "{strategy:?}");
         }

@@ -116,6 +116,7 @@ use crate::lemma1::enumerate_through_vertex;
 use crate::sink::TriangleSink;
 use crate::stats::PhaseRecorder;
 use crate::util::{remove_incident_edges, SortKind};
+use crate::workunit::{ShardCursor, WorkUnitKind};
 use crate::RecursionStrategy;
 
 /// Subproblems of at most this many edges are joined in core directly. A
@@ -241,6 +242,15 @@ struct CoContext<'a> {
     leaf_log: Vec<NodeDescriptor>,
     /// Whether checkpointing is armed (and hence the leaf log maintained).
     log_leaves: bool,
+    /// The unit→worker assignment of a sharded run; a solo cursor (every
+    /// claim succeeds, pure counter ticks) on sequential runs.
+    shard: &'a mut ShardCursor,
+    /// Depth of the refinement tree at which whole subtrees become work
+    /// units. The tree strictly above is replicated on every worker, with
+    /// its leaf and high-degree *emissions* individually sharded;
+    /// `usize::MAX` on sequential runs, making every node "above" the spawn
+    /// depth and every claim a solo-cursor no-op.
+    spawn_depth: usize,
 }
 
 /// The run-global files of the batched oversized-leaf base case: wedges and
@@ -294,6 +304,35 @@ pub(crate) fn run_cache_oblivious(
     run_cache_oblivious_recoverable(graph, seed, strategy, sink, recorder, None, None)
 }
 
+/// [`run_cache_oblivious`] under a shard cursor: every worker replicates the
+/// top of the refinement tree (strictly above `spawn_depth`) — the per-level
+/// bits are a function of `seed` and the level alone, so all workers expand
+/// the identical tree — and each node *at* the spawn depth is one whole
+/// subtree unit processed only by its owner. Leaf and high-degree emissions
+/// of the replicated top are individually sharded so their triangles are
+/// emitted exactly once across the pool. Always depth-first; checkpointing
+/// is rejected upstream by the scheduler.
+pub(crate) fn run_cache_oblivious_sharded(
+    graph: &ExtGraph,
+    seed: u64,
+    sink: &mut dyn TriangleSink,
+    recorder: &mut PhaseRecorder,
+    shard: &mut ShardCursor,
+    spawn_depth: usize,
+) -> (u64, CacheObliviousStats) {
+    run_cache_oblivious_inner(
+        graph,
+        seed,
+        RecursionStrategy::DepthFirst,
+        sink,
+        recorder,
+        None,
+        None,
+        shard,
+        spawn_depth,
+    )
+}
+
 /// [`run_cache_oblivious`] with crash-safety armed: when `spec` is given the
 /// depth-first driver writes an atomic checkpoint at each subproblem boundary
 /// that crosses the I/O interval (committing the sink via
@@ -313,6 +352,33 @@ pub(crate) fn run_cache_oblivious_recoverable(
     recorder: &mut PhaseRecorder,
     spec: Option<&CheckpointSpec>,
     resume: Option<&Checkpoint>,
+) -> (u64, CacheObliviousStats) {
+    // A solo cursor and an unreachable spawn depth: every claim succeeds
+    // without charging anything, so this is the sequential driver verbatim.
+    run_cache_oblivious_inner(
+        graph,
+        seed,
+        strategy,
+        sink,
+        recorder,
+        spec,
+        resume,
+        &mut ShardCursor::solo(),
+        usize::MAX,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cache_oblivious_inner(
+    graph: &ExtGraph,
+    seed: u64,
+    strategy: RecursionStrategy,
+    sink: &mut dyn TriangleSink,
+    recorder: &mut PhaseRecorder,
+    spec: Option<&CheckpointSpec>,
+    resume: Option<&Checkpoint>,
+    shard: &mut ShardCursor,
+    spawn_depth: usize,
 ) -> (u64, CacheObliviousStats) {
     let machine = graph.machine().clone();
     let e = graph.edge_count();
@@ -365,6 +431,8 @@ pub(crate) fn run_cache_oblivious_recoverable(
         leaf_batch: LeafBatch::new(&machine),
         leaf_log: Vec::new(),
         log_leaves: spec.is_some(),
+        shard,
+        spawn_depth,
     };
     match strategy {
         RecursionStrategy::DepthFirst => {
@@ -399,6 +467,10 @@ pub(crate) fn run_cache_oblivious_recoverable(
             assert!(
                 spec.is_none() && resume.is_none(),
                 "checkpoint/resume requires the depth-first driver"
+            );
+            assert!(
+                ctx.shard.is_solo(),
+                "sharded runs require the depth-first driver"
             );
             let io0 = machine.io();
             solve_level_synchronous(&mut ctx, &machine, root, &coloring);
@@ -936,7 +1008,33 @@ fn process_node(
     if e_here < 3 {
         return;
     }
+    // A node *at* the spawn depth is one whole subtree work unit: its owner
+    // processes it and everything below (descendants sit beyond the spawn
+    // depth and are never gated — they exist only on the owner's stack);
+    // every other worker drops it here, before any charged access. Dead
+    // nodes (< 3 edges) return above on every worker alike, so the claim
+    // stream stays aligned across the pool. On sequential runs the spawn
+    // depth is `usize::MAX` and no node ever claims here.
+    if depth == ctx.spawn_depth
+        && !ctx
+            .shard
+            .claim(WorkUnitKind::RefinementSubtree { depth, target })
+    {
+        return;
+    }
+    // Strictly above the spawn depth the tree is replicated on every worker,
+    // and the *emissions* (leaves, oversized leaves, high-degree Lemma 1
+    // passes) are individually sharded so each triangle is emitted exactly
+    // once across the pool.
+    let gated = depth < ctx.spawn_depth;
     if e_here <= BASE_CASE_EDGES {
+        if gated
+            && !ctx
+                .shard
+                .claim(WorkUnitKind::RefinementLeaf { depth, target })
+        {
+            return;
+        }
         let emitted = solve_leaf_in_core(
             machine,
             edges.iter(),
@@ -947,6 +1045,13 @@ fn process_node(
         return;
     }
     if depth >= ctx.depth_limit {
+        if gated
+            && !ctx
+                .shard
+                .claim(WorkUnitKind::RefinementLeaf { depth, target })
+        {
+            return;
+        }
         if ctx.log_leaves {
             ctx.leaf_log.push(NodeDescriptor {
                 depth,
@@ -969,7 +1074,19 @@ fn process_node(
     let mut current = edges;
     let mut removed = removed;
     if !high.is_empty() {
-        current = enumerate_high_degree(ctx, current, &high, coloring, depth, target);
+        // On a replicated node the Lemma 1 enumeration is one work unit; the
+        // other workers must still strip the high-degree vertices' edges —
+        // [`enumerate_high_degree`] returns exactly the incident-removal of
+        // its input, so every worker descends with the identical edge list.
+        if !gated
+            || ctx
+                .shard
+                .claim(WorkUnitKind::RefinementHighDegree { depth, target })
+        {
+            current = enumerate_high_degree(ctx, current, &high, coloring, depth, target);
+        } else {
+            current = remove_incident_edges(&current, &high);
+        }
         removed = Some(Rc::new(RemovedSet {
             vertices: high,
             parent: removed,

@@ -21,6 +21,7 @@ use crate::input::ExtGraph;
 use crate::potential::evaluate_candidates;
 use crate::sink::TriangleSink;
 use crate::stats::PhaseRecorder;
+use crate::workunit::ShardCursor;
 use crate::Step3Strategy;
 
 /// Extra information reported by a derandomized run.
@@ -51,6 +52,40 @@ pub(crate) fn run_derandomized(
     strategy: Step3Strategy,
     sink: &mut dyn TriangleSink,
     recorder: &mut PhaseRecorder,
+) -> (ColoredRunOutcome, DerandInfo) {
+    run_derandomized_sharded(
+        graph,
+        cfg,
+        family_seed,
+        candidate_override,
+        strategy,
+        sink,
+        recorder,
+        &mut ShardCursor::solo(),
+    )
+}
+
+/// [`run_derandomized`] under a shard cursor.
+///
+/// The greedy per-level bit selection (step 0) is **replicated** on every
+/// worker rather than sharded: each refinement level consumes the colouring
+/// chosen by all previous levels, so the levels form a sequential dependency
+/// chain that a statically assigned worker pool cannot split without
+/// cross-worker barriers. The selection is fully deterministic given
+/// `family_seed` — no worker-dependent state enters it — so every worker
+/// derives the identical colouring and then shares `run_colored`'s unit
+/// stream (high-degree vertices + pivot pairs), which is where the actual
+/// enumeration cost lives.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_derandomized_sharded(
+    graph: &ExtGraph,
+    cfg: EmConfig,
+    family_seed: u64,
+    candidate_override: Option<usize>,
+    strategy: Step3Strategy,
+    sink: &mut dyn TriangleSink,
+    recorder: &mut PhaseRecorder,
+    shard: &mut ShardCursor,
 ) -> (ColoredRunOutcome, DerandInfo) {
     let machine = graph.machine().clone();
     let e = graph.edge_count();
@@ -104,7 +139,7 @@ pub(crate) fn run_derandomized(
     // The refined colouring assigns values in [1, c]; the shared driver
     // expects colours in [0, c).
     let color = move |v: u32| coloring.color(v) - 1;
-    let outcome = run_colored(graph, cfg, c, &color, strategy, sink, recorder);
+    let outcome = run_colored(graph, cfg, c, &color, strategy, sink, recorder, shard);
 
     (
         outcome,

@@ -50,12 +50,17 @@ mod potential;
 mod sink;
 mod stats;
 mod util;
+pub mod workunit;
 
 pub use cache_aware::measure_random_coloring_balance;
 pub use checkpoint::{Checkpoint, CheckpointSpec};
 pub use input::ExtGraph;
 pub use sink::{CollectingSink, CountingSink, DurableSink, FnSink, StrictSink, TriangleSink};
 pub use stats::RunReport;
+pub use workunit::{
+    enumerate_triangles_sharded, enumerate_triangles_sharded_with_checkpoint, ShardConfigError,
+    ShardPlan, ShardedReport, WorkUnit, WorkUnitKind,
+};
 
 // Re-export the configuration and machine types so downstream users need
 // only this crate (the machine is part of the public API of the crash-safe

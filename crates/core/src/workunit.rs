@@ -1,0 +1,799 @@
+//! Multi-worker (PEM) enumeration: deterministic work-unit sharding, the
+//! worker pool, and the merged report.
+//!
+//! The parallel external-memory (PEM) model runs `P` machines, each with its
+//! own internal memory of `M` words and its own block channel; the cost of a
+//! computation is the **maximum** per-worker I/O, not the sum. This module
+//! refactors the repo's drivers from "one machine, one driver" to "a
+//! work-unit queue over `P` workers":
+//!
+//! * Every driver exposes its independent pieces as **work units** — the
+//!   Lemma 1 high-degree vertices and the non-empty pivot colour pairs
+//!   `(τ2, τ3)` of the cache-aware step 3, and the top-of-tree subtrees (at a
+//!   configurable spawn depth) plus the top-of-tree leaf/high-degree
+//!   emissions of the cache-oblivious refinement. Units are numbered by a
+//!   single cursor ticking in the driver's deterministic execution order, so
+//!   the numbering is identical on every worker and *independent of `P`*.
+//! * A unit belongs to worker `unit_index % workers` — the static assignment
+//!   of the timely-dataflow exemplar (`node % peers == index`) — so the unit
+//!   partition, and with it every downstream result, is worker-count
+//!   invariant by construction.
+//! * Each worker thread builds its **own** [`Machine`] from the shared
+//!   `Copy` [`EmConfig`] (a [`Machine`] is deliberately `!Send`), replays
+//!   the driver with its shard cursor, and buffers its triangles. All
+//!   randomness is derived from `(seed, unit id)`-equivalent state — the
+//!   colouring seed and the per-level refinement bits — never from the
+//!   worker id or arrival order, so all workers expand the *same* recursion
+//!   tree and skip the parts they do not own.
+//! * The per-worker buffers are merged by [`emalgo::kway_merge_tagged`] into
+//!   one globally sorted triangle stream, so the delivered multiset (and its
+//!   order) is bit-identical regardless of `P` and scheduling.
+//!
+//! With `P = 1` every unit is owned, the claim calls degenerate to counter
+//! increments charged to nothing, and the worker performs *exactly* the
+//! sequential driver's operation sequence — the refactor is zero-cost, and
+//! the E10 gate pins `sum_io` at `P = 1` to the sequential driver's I/O.
+
+use emsim::{EmConfig, ExtVec, IoStats, Machine, PhaseSnapshot, WorkerReport};
+use graphgen::{Graph, Triangle};
+
+use crate::checkpoint::CheckpointSpec;
+use crate::input::ExtGraph;
+use crate::sink::{CollectingSink, TriangleSink};
+use crate::stats::{PhaseRecorder, RunReport};
+use crate::{cache_aware, cache_oblivious, derandomized};
+use crate::{Algorithm, Step3Strategy, TranslatingSink};
+
+/// Default spawn depth of the cache-oblivious driver: subtrees rooted at
+/// depth 2 of the colour-refinement tree become work units (up to `8² = 64`
+/// of them — comfortably more than the worker counts E10 sweeps, so the
+/// round-robin assignment balances well), while the two levels above are
+/// replicated on every worker.
+pub const DEFAULT_SPAWN_DEPTH: usize = 2;
+
+/// One schedulable piece of a driver's execution, as logged by the unit
+/// cursor (see [`ShardPlan::log_units`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WorkUnitKind {
+    /// Cache-aware step 1: one Lemma 1 pass through a high-degree vertex.
+    HighDegreeVertex {
+        /// The high-degree vertex (canonical id).
+        v: u32,
+    },
+    /// Cache-aware step 3: all `c` cone colours against the non-empty pivot
+    /// class `E_{τ2,τ3}`.
+    PivotPair {
+        /// Pivot colour `τ2`.
+        t2: u64,
+        /// Pivot colour `τ3`.
+        t3: u64,
+    },
+    /// Cache-oblivious: a whole subtree of the colour-refinement tree rooted
+    /// at the spawn depth.
+    RefinementSubtree {
+        /// Depth of the subtree root (always the plan's spawn depth).
+        depth: usize,
+        /// Colour-vector target of the subtree root.
+        target: (u64, u64, u64),
+    },
+    /// Cache-oblivious: an in-core (or oversized) leaf above the spawn
+    /// depth, emitted as its own unit.
+    RefinementLeaf {
+        /// Depth of the leaf.
+        depth: usize,
+        /// Colour-vector target of the leaf.
+        target: (u64, u64, u64),
+    },
+    /// Cache-oblivious: the Lemma 1 high-degree enumeration of a replicated
+    /// top-of-tree node, emitted as its own unit.
+    RefinementHighDegree {
+        /// Depth of the node.
+        depth: usize,
+        /// Colour-vector target of the node.
+        target: (u64, u64, u64),
+    },
+}
+
+/// A claimed work unit: its position in the deterministic unit stream plus
+/// what it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WorkUnit {
+    /// Index in the global unit stream (identical on every worker and for
+    /// every worker count).
+    pub index: u64,
+    /// What the unit was.
+    pub kind: WorkUnitKind,
+}
+
+/// The deterministic unit→worker assignment: a counter over the driver's
+/// unit stream plus this worker's identity. `claim` answers "is the next
+/// unit mine?" — `unit_index % workers == worker`, the timely idiom.
+///
+/// The cursor must tick identically on every worker: drivers call `claim`
+/// at points whose reachability depends only on the (seed-deterministic,
+/// worker-replicated) computation, never on what a worker skipped.
+#[derive(Debug)]
+pub(crate) struct ShardCursor {
+    worker: u64,
+    workers: u64,
+    next_unit: u64,
+    /// `Some` when unit logging is on: every unit this worker *owns*.
+    log: Option<Vec<WorkUnit>>,
+}
+
+impl ShardCursor {
+    /// The sequential cursor: one worker owning every unit. The sequential
+    /// drivers run with this — claims always succeed, so the sharded code
+    /// path is byte-for-byte the sequential one.
+    pub(crate) fn solo() -> ShardCursor {
+        ShardCursor::new(0, 1, false)
+    }
+
+    pub(crate) fn new(worker: usize, workers: usize, log_units: bool) -> ShardCursor {
+        assert!(
+            worker < workers,
+            "worker {worker} out of range 0..{workers}"
+        );
+        ShardCursor {
+            worker: worker as u64,
+            workers: workers as u64,
+            log: log_units.then(Vec::new),
+            next_unit: 0,
+        }
+    }
+
+    /// Whether every unit is owned (the sequential degenerate case).
+    pub(crate) fn is_solo(&self) -> bool {
+        self.workers == 1
+    }
+
+    /// Ticks the unit counter and answers whether this worker owns the unit
+    /// just passed. Pure in-core bookkeeping: charges no I/O and no work, so
+    /// a solo cursor leaves the sequential accounting untouched.
+    pub(crate) fn claim(&mut self, kind: WorkUnitKind) -> bool {
+        let index = self.next_unit;
+        self.next_unit += 1;
+        let owned = index % self.workers == self.worker;
+        if owned {
+            if let Some(log) = &mut self.log {
+                log.push(WorkUnit { index, kind });
+            }
+        }
+        owned
+    }
+
+    /// The units this worker owned (empty unless logging was requested).
+    pub(crate) fn into_log(self) -> Vec<WorkUnit> {
+        self.log.unwrap_or_default()
+    }
+}
+
+/// Configuration of a sharded (multi-worker) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of workers `P` (threads, each with its own [`Machine`]).
+    pub workers: usize,
+    /// Depth of the cache-oblivious refinement tree at which whole subtrees
+    /// become work units (ignored by the cache-aware drivers). The tree
+    /// above this depth is replicated on every worker.
+    pub spawn_depth: usize,
+    /// When set, each worker records the units it owned; they come back in
+    /// [`ShardedReport::worker_units`]. Off by default (the log is
+    /// proportional to the unit count).
+    pub log_units: bool,
+}
+
+impl ShardPlan {
+    /// A plan with `workers` workers and the default spawn depth.
+    pub fn new(workers: usize) -> ShardPlan {
+        ShardPlan {
+            workers,
+            spawn_depth: DEFAULT_SPAWN_DEPTH,
+            log_units: false,
+        }
+    }
+
+    /// Overrides the cache-oblivious spawn depth.
+    pub fn with_spawn_depth(mut self, spawn_depth: usize) -> ShardPlan {
+        self.spawn_depth = spawn_depth;
+        self
+    }
+
+    /// Turns on per-worker unit logging.
+    pub fn with_unit_log(mut self) -> ShardPlan {
+        self.log_units = true;
+        self
+    }
+}
+
+impl Default for ShardPlan {
+    fn default() -> ShardPlan {
+        ShardPlan::new(1)
+    }
+}
+
+/// A sharded-run configuration the scheduler refuses to execute. Returned —
+/// never silently ignored — so a misconfiguration cannot corrupt results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardConfigError {
+    /// `workers == 0`: there is no machine to run on.
+    ZeroWorkers,
+    /// The algorithm is a baseline without a work-unit decomposition; only
+    /// the paper's drivers are sharded.
+    UnsupportedAlgorithm {
+        /// [`Algorithm::name`] of the rejected algorithm.
+        name: &'static str,
+    },
+    /// A [`CheckpointSpec`] was supplied: checkpoint frontiers are
+    /// per-machine, and the sharded scheduler does not (yet) compose
+    /// per-worker frontier files into one resumable state. Use
+    /// [`crate::enumerate_triangles_with_recovery`] for crash-safe
+    /// (sequential) runs.
+    CheckpointUnsupported {
+        /// The worker count of the rejected plan.
+        workers: usize,
+    },
+}
+
+impl std::fmt::Display for ShardConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardConfigError::ZeroWorkers => write!(f, "a sharded run needs at least one worker"),
+            ShardConfigError::UnsupportedAlgorithm { name } => {
+                write!(f, "algorithm {name} has no work-unit decomposition; only the paper's drivers run sharded")
+            }
+            ShardConfigError::CheckpointUnsupported { workers } => {
+                write!(
+                    f,
+                    "checkpointing does not compose with {workers}-worker sharding: checkpoint \
+                     frontiers are per-machine; use enumerate_triangles_with_recovery instead"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardConfigError {}
+
+/// Everything a sharded run reports: the merged [`RunReport`], the
+/// per-worker PEM accounting, and (when requested) the per-worker unit logs.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// The merged run report. `io` / `work_ops` are *sums* over workers
+    /// (phase rows likewise, summed by phase name; phase peaks are per-name
+    /// maxima; `peak_mem_words` / `peak_disk_words` are maxima — each worker
+    /// has its own memory and disk). Extras are worker 0's rows (the
+    /// seed-derived ones are identical on every worker) plus the aggregate
+    /// `workers` / `max_worker_io` / `sum_worker_io` / `worker_balance` /
+    /// `merge_io` rows.
+    pub report: RunReport,
+    /// Per-worker I/O and the PEM aggregates (`max_io` is the PEM cost).
+    /// `per_worker` is indexed by worker id — the pool sorts by worker index
+    /// before aggregating, so the report is deterministic for any join
+    /// order.
+    pub workers: WorkerReport,
+    /// Block transfers of the merge pass (sorting and k-way-merging the
+    /// per-worker triangle buffers on a separate merge machine). Reported
+    /// apart from the workers' I/O: in the PEM model the merge is the
+    /// sequential epilogue, and at `P = 1` the gate pins the workers' I/O
+    /// alone to the sequential driver's.
+    pub merge_io: IoStats,
+    /// The work units each worker owned, indexed by worker id; empty unless
+    /// [`ShardPlan::log_units`] was set.
+    pub worker_units: Vec<Vec<WorkUnit>>,
+}
+
+/// What one worker thread brings home.
+struct WorkerRun {
+    worker: usize,
+    triangles: Vec<Triangle>,
+    io: IoStats,
+    work_ops: u64,
+    peak_mem_words: u64,
+    peak_disk_words: u64,
+    phases: Vec<(String, IoStats)>,
+    phase_peaks: Vec<PhaseSnapshot>,
+    extra: Vec<(String, f64)>,
+    units: Vec<WorkUnit>,
+    edges: usize,
+    vertices: usize,
+}
+
+/// Enumerates every triangle of `graph` across `plan.workers` worker
+/// threads, each with its own simulated machine, merging the per-worker
+/// buffers into one deterministic, globally sorted triangle stream delivered
+/// to `sink`.
+///
+/// The unit→worker assignment is `unit_index % workers` over a unit stream
+/// numbered in the driver's deterministic execution order, so the triangle
+/// multiset (and the delivery order) is bit-identical for every worker
+/// count. Triangles reach `sink` in ascending `(a, b, c)` order of the
+/// caller's original vertex ids — note this differs from the sequential
+/// entry points, which deliver in driver emission order.
+///
+/// Only the paper's three drivers are supported; baselines return
+/// [`ShardConfigError::UnsupportedAlgorithm`].
+pub fn enumerate_triangles_sharded(
+    graph: &Graph,
+    algorithm: Algorithm,
+    cfg: EmConfig,
+    plan: ShardPlan,
+    sink: &mut dyn TriangleSink,
+) -> Result<ShardedReport, ShardConfigError> {
+    enumerate_triangles_sharded_with_checkpoint(graph, algorithm, cfg, plan, sink, None)
+}
+
+/// [`enumerate_triangles_sharded`] with an explicit checkpoint argument —
+/// which the scheduler **rejects** with a typed error whenever a spec is
+/// supplied: checkpoint frontiers are per-machine, and composing `P`
+/// per-worker frontier files into one resumable state is not implemented.
+/// The argument exists so callers migrating from
+/// [`crate::enumerate_triangles_with_recovery`] get a compile-visible,
+/// typed answer instead of a silently ignored spec.
+pub fn enumerate_triangles_sharded_with_checkpoint(
+    graph: &Graph,
+    algorithm: Algorithm,
+    cfg: EmConfig,
+    plan: ShardPlan,
+    sink: &mut dyn TriangleSink,
+    checkpoint: Option<&CheckpointSpec>,
+) -> Result<ShardedReport, ShardConfigError> {
+    if plan.workers == 0 {
+        return Err(ShardConfigError::ZeroWorkers);
+    }
+    if checkpoint.is_some() {
+        return Err(ShardConfigError::CheckpointUnsupported {
+            workers: plan.workers,
+        });
+    }
+    if !algorithm.is_paper_algorithm() {
+        return Err(ShardConfigError::UnsupportedAlgorithm {
+            name: algorithm.name(),
+        });
+    }
+
+    let runs = run_worker_pool(graph, algorithm, cfg, plan);
+    let (triangles, merge_io) = merge_worker_triangles(cfg, &runs, sink);
+    // emlint: allow(unleased, reason = "P per-worker stat rows of scheduler bookkeeping, not algorithm memory")
+    let workers = WorkerReport::from_per_worker(runs.iter().map(|r| r.io).collect());
+    let report = merged_report(algorithm, cfg, &runs, &workers, merge_io, triangles);
+    // emlint: allow(unleased, reason = "unit-log handover to the report, scheduler bookkeeping")
+    let worker_units = runs.into_iter().map(|r| r.units).collect();
+    Ok(ShardedReport {
+        report,
+        workers,
+        merge_io,
+        worker_units,
+    })
+}
+
+/// The hand-rolled worker pool: one `std::thread` per worker, scoped so the
+/// shared `graph` borrow needs no `Arc`. Results are collected in join order
+/// and re-sorted by worker index, so everything downstream is deterministic
+/// whatever the scheduling; a worker panic (e.g. a gauge-audit lease leak)
+/// is propagated, not swallowed.
+fn run_worker_pool(
+    graph: &Graph,
+    algorithm: Algorithm,
+    cfg: EmConfig,
+    plan: ShardPlan,
+) -> Vec<WorkerRun> {
+    if plan.workers == 1 {
+        // No thread for the degenerate case: keeps single-worker runs (and
+        // their panics/backtraces) on the caller's stack.
+        // emlint: allow(unleased, reason = "one-element pool result, scheduler bookkeeping")
+        return vec![run_worker(graph, algorithm, cfg, plan, 0)];
+    }
+    std::thread::scope(|scope| {
+        // emlint: allow(unleased, reason = "P thread handles of scheduler bookkeeping, not algorithm memory")
+        let handles: Vec<_> = (0..plan.workers)
+            .map(|worker| scope.spawn(move || run_worker(graph, algorithm, cfg, plan, worker)))
+            .collect();
+        // emlint: allow(unleased, reason = "P worker results collected on the host, outside the measured region")
+        let mut runs: Vec<WorkerRun> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect();
+        // emlint: allow(uncharged-std, reason = "sorting P pool results by worker index for deterministic reports; host-side, not algorithm work")
+        runs.sort_by_key(|r| r.worker);
+        runs
+    })
+}
+
+/// One worker: its own machine from the shared `Copy` config, its own graph
+/// load (uncharged, as in the model), its own gauge/recorder, and the
+/// driver replayed under this worker's shard cursor.
+fn run_worker(
+    graph: &Graph,
+    algorithm: Algorithm,
+    cfg: EmConfig,
+    plan: ShardPlan,
+    worker: usize,
+) -> WorkerRun {
+    let machine = Machine::new(cfg);
+    let ext = ExtGraph::load(&machine, graph);
+    machine.cold_cache();
+    machine.gauge().reset_peak();
+    let before = machine.stats();
+
+    let mut recorder = PhaseRecorder::new(machine.gauge());
+    let mut cursor = ShardCursor::new(worker, plan.workers, plan.log_units);
+    let mut collected = CollectingSink::new();
+    // emlint: allow(unleased, reason = "run-report bookkeeping outside the measured region, not algorithm memory")
+    let mut extra: Vec<(String, f64)> = Vec::new();
+    {
+        let mut translating = TranslatingSink {
+            graph: &ext,
+            inner: &mut collected,
+        };
+        match algorithm {
+            Algorithm::CacheAwareRandomized { seed } => {
+                let out = cache_aware::run_cache_aware_randomized_sharded(
+                    &ext,
+                    cfg,
+                    seed,
+                    Step3Strategy::default(),
+                    &mut translating,
+                    &mut recorder,
+                    &mut cursor,
+                );
+                extra.push(("colors".into(), out.colors as f64));
+                extra.push(("x_statistic".into(), out.x_statistic as f64));
+                extra.push((
+                    "high_degree_vertices".into(),
+                    out.high_degree_vertices as f64,
+                ));
+                extra.push(("step3_chunk_passes".into(), out.step3_chunk_passes as f64));
+            }
+            Algorithm::DeterministicCacheAware {
+                family_seed,
+                candidates,
+            } => {
+                let (out, info) = derandomized::run_derandomized_sharded(
+                    &ext,
+                    cfg,
+                    family_seed,
+                    candidates,
+                    Step3Strategy::default(),
+                    &mut translating,
+                    &mut recorder,
+                    &mut cursor,
+                );
+                extra.push(("colors".into(), info.colors as f64));
+                extra.push(("x_statistic".into(), out.x_statistic as f64));
+                extra.push(("greedy_levels".into(), info.levels as f64));
+                extra.push(("candidates_per_level".into(), info.candidates as f64));
+                extra.push(("step3_chunk_passes".into(), out.step3_chunk_passes as f64));
+            }
+            Algorithm::CacheObliviousRandomized { seed } => {
+                let (_, stats) = cache_oblivious::run_cache_oblivious_sharded(
+                    &ext,
+                    seed,
+                    &mut translating,
+                    &mut recorder,
+                    &mut cursor,
+                    plan.spawn_depth,
+                );
+                extra.push(("subproblems".into(), stats.subproblems as f64));
+                extra.push(("max_recursion_depth".into(), stats.max_depth as f64));
+                extra.push((
+                    "high_degree_truncations".into(),
+                    stats.high_degree_truncations as f64,
+                ));
+                extra.push(("partition_sweeps".into(), stats.partition_sweeps as f64));
+            }
+            // Rejected by validation before the pool spawns.
+            Algorithm::HuTaoChung | Algorithm::SortBased | Algorithm::BlockNestedLoop => {
+                unreachable!("baselines are rejected before the pool starts")
+            }
+        }
+    }
+
+    let after = machine.stats();
+    let delta = after.since(&before);
+    let (phases, phase_peaks) = recorder.into_parts();
+    WorkerRun {
+        worker,
+        triangles: collected.into_triangles(),
+        io: delta.io,
+        work_ops: delta.work_ops,
+        peak_mem_words: after.peak_mem_words,
+        peak_disk_words: after.peak_disk_words,
+        phases,
+        phase_peaks,
+        extra,
+        units: cursor.into_log(),
+        edges: ext.edge_count(),
+        vertices: ext.vertex_count(),
+    }
+}
+
+/// Merges the per-worker triangle buffers into one globally sorted stream
+/// delivered to `sink`, on a separate merge machine: each worker's buffer is
+/// written to external memory, sorted, and the `P` runs are k-way-merged by
+/// [`emalgo::kway_merge_tagged`] keyed on the triangle itself (equal
+/// triangles are indistinguishable, so the tag tie-break never shows).
+/// Returns the merged count and the merge machine's I/O.
+fn merge_worker_triangles(
+    cfg: EmConfig,
+    runs: &[WorkerRun],
+    sink: &mut dyn TriangleSink,
+) -> (u64, IoStats) {
+    let machine = Machine::new(cfg);
+    // emlint: allow(unleased, reason = "P run handles of view metadata, not algorithm memory")
+    let mut sorted: Vec<ExtVec<(u32, u32, u32)>> = Vec::with_capacity(runs.len());
+    for run in runs {
+        let mut buf: ExtVec<(u32, u32, u32)> = ExtVec::new(&machine);
+        for t in &run.triangles {
+            buf.push((t.a, t.b, t.c));
+        }
+        sorted.push(emalgo::oblivious_sort_by_key(&buf, |&t| t));
+    }
+    let mut triangles = 0u64;
+    // emlint: allow(unleased, reason = "P reader handles of view metadata, not algorithm memory")
+    for (_tag, (a, b, c)) in
+        emalgo::kway_merge_tagged(&machine, sorted.iter().map(|v| v.iter()).collect(), |&t| t)
+    {
+        sink.emit(Triangle::new(a, b, c));
+        triangles += 1;
+    }
+    (triangles, machine.stats().io)
+}
+
+/// Builds the merged [`RunReport`]. Sums and maxima are taken over the
+/// worker-index-sorted runs, and phase rows keep worker 0's phase order, so
+/// serialising the report is byte-stable across runs and join orders.
+fn merged_report(
+    algorithm: Algorithm,
+    cfg: EmConfig,
+    runs: &[WorkerRun],
+    workers: &WorkerReport,
+    merge_io: IoStats,
+    triangles: u64,
+) -> RunReport {
+    // emlint: allow(unleased, reason = "run-report bookkeeping outside the measured region, not algorithm memory")
+    let mut phases: Vec<(String, IoStats)> = Vec::new();
+    // emlint: allow(unleased, reason = "run-report bookkeeping outside the measured region, not algorithm memory")
+    let mut phase_peaks: Vec<PhaseSnapshot> = Vec::new();
+    for run in runs {
+        for (name, io) in &run.phases {
+            match phases.iter_mut().find(|(n, _)| n == name) {
+                Some((_, sum)) => *sum += *io,
+                None => phases.push((name.clone(), *io)),
+            }
+        }
+        for snap in &run.phase_peaks {
+            match phase_peaks.iter_mut().find(|s| s.name == snap.name) {
+                Some(max) => {
+                    if snap.peak_words > max.peak_words {
+                        *max = snap.clone();
+                    }
+                }
+                None => phase_peaks.push(snap.clone()),
+            }
+        }
+    }
+    // Worker 0's extras stand for the run (the seed-derived rows — colours,
+    // X_ξ, greedy levels — are identical on every worker; the per-worker
+    // counters are in `ShardedReport::workers`), followed by the aggregates.
+    let mut extra = runs[0].extra.clone();
+    extra.push(("workers".into(), runs.len() as f64));
+    extra.push(("max_worker_io".into(), workers.max_io as f64));
+    extra.push(("sum_worker_io".into(), workers.sum_io as f64));
+    extra.push(("worker_balance".into(), workers.balance));
+    extra.push(("merge_io".into(), merge_io.total() as f64));
+
+    RunReport {
+        algorithm: algorithm.name().to_string(),
+        config: cfg,
+        edges: runs[0].edges,
+        vertices: runs[0].vertices,
+        triangles,
+        io: IoStats::merge(runs.iter().map(|r| r.io)),
+        phases,
+        phase_peaks,
+        peak_mem_words: runs.iter().map(|r| r.peak_mem_words).max().unwrap_or(0),
+        peak_disk_words: runs.iter().map(|r| r.peak_disk_words).max().unwrap_or(0),
+        work_ops: runs.iter().map(|r| r.work_ops).sum(),
+        extra,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::{generators, naive};
+
+    fn sorted_sequential(g: &Graph, algorithm: Algorithm, cfg: EmConfig) -> (Vec<Triangle>, u64) {
+        let mut sink = CollectingSink::new();
+        let report = crate::enumerate_triangles(g, algorithm, cfg, &mut sink);
+        let mut ts = sink.into_triangles();
+        ts.sort_unstable();
+        (ts, report.io.total())
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_for_every_worker_count() {
+        let g = generators::erdos_renyi(300, 2400, 7);
+        let cfg = EmConfig::new(256, 32);
+        for algorithm in [
+            Algorithm::CacheAwareRandomized { seed: 5 },
+            Algorithm::CacheObliviousRandomized { seed: 5 },
+            Algorithm::DeterministicCacheAware {
+                family_seed: 5,
+                candidates: Some(12),
+            },
+        ] {
+            let (expected, _) = sorted_sequential(&g, algorithm, cfg);
+            assert_eq!(expected.len() as u64, naive::count_triangles(&g));
+            for workers in 1..=4 {
+                let mut sink = CollectingSink::new();
+                let report = enumerate_triangles_sharded(
+                    &g,
+                    algorithm,
+                    cfg,
+                    ShardPlan::new(workers),
+                    &mut sink,
+                )
+                .expect("valid plan");
+                // The merged stream is delivered already sorted.
+                assert_eq!(sink.triangles(), &expected[..], "{algorithm:?} P={workers}");
+                assert_eq!(report.report.triangles, expected.len() as u64);
+                assert_eq!(report.workers.workers(), workers);
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_io_matches_the_sequential_driver_exactly() {
+        // The zero-cost pin: with one worker every claim succeeds, so the
+        // sharded path must charge byte-for-byte the sequential I/O.
+        let g = generators::chung_lu_power_law(250, 1800, 2.3, 9);
+        let cfg = EmConfig::new(256, 32);
+        for algorithm in [
+            Algorithm::CacheAwareRandomized { seed: 3 },
+            Algorithm::CacheObliviousRandomized { seed: 3 },
+            Algorithm::DeterministicCacheAware {
+                family_seed: 3,
+                candidates: Some(12),
+            },
+        ] {
+            let (_, sequential_io) = sorted_sequential(&g, algorithm, cfg);
+            let mut sink = CollectingSink::new();
+            let report =
+                enumerate_triangles_sharded(&g, algorithm, cfg, ShardPlan::new(1), &mut sink)
+                    .expect("valid plan");
+            assert_eq!(
+                report.workers.sum_io, sequential_io,
+                "{algorithm:?}: P=1 must be a zero-cost refactor"
+            );
+            assert_eq!(report.workers.max_io, sequential_io);
+        }
+    }
+
+    #[test]
+    fn owned_units_partition_the_unit_stream_and_are_worker_count_invariant() {
+        // Satellite regression: the union of per-worker owned units at P=4
+        // must be exactly the P=1 unit stream (same indices, same kinds) —
+        // i.e. all randomness and numbering derive from the seed and unit
+        // order, never from worker identity. Covers both drivers.
+        let g = generators::erdos_renyi(300, 2400, 7);
+        let cfg = EmConfig::new(128, 16); // small M: several colours
+        for algorithm in [
+            Algorithm::CacheAwareRandomized { seed: 5 },
+            Algorithm::CacheObliviousRandomized { seed: 5 },
+        ] {
+            let units_at = |workers: usize| {
+                let mut sink = CollectingSink::new();
+                let report = enumerate_triangles_sharded(
+                    &g,
+                    algorithm,
+                    cfg,
+                    ShardPlan::new(workers).with_unit_log(),
+                    &mut sink,
+                )
+                .expect("valid plan");
+                report.worker_units
+            };
+            let solo = units_at(1);
+            assert!(
+                solo[0].len() >= 4,
+                "{algorithm:?}: expected a non-trivial unit stream, got {}",
+                solo[0].len()
+            );
+            let sharded = units_at(4);
+            // Each worker owns exactly its residue class...
+            for (w, units) in sharded.iter().enumerate() {
+                for unit in units {
+                    assert_eq!(unit.index % 4, w as u64, "{algorithm:?}");
+                }
+            }
+            // ...and together they are exactly the sequential stream.
+            let mut union: Vec<WorkUnit> = sharded.into_iter().flatten().collect();
+            union.sort_unstable();
+            assert_eq!(union, solo[0], "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_spec_is_rejected_with_a_typed_error() {
+        let g = generators::erdos_renyi(50, 200, 1);
+        let cfg = EmConfig::new(256, 32);
+        let spec = CheckpointSpec {
+            path: std::path::PathBuf::from("unused.ckpt"),
+            interval_io: 100,
+        };
+        for workers in [1usize, 4] {
+            let mut sink = CollectingSink::new();
+            let err = enumerate_triangles_sharded_with_checkpoint(
+                &g,
+                Algorithm::CacheObliviousRandomized { seed: 1 },
+                cfg,
+                ShardPlan::new(workers),
+                &mut sink,
+                Some(&spec),
+            )
+            .expect_err("checkpointing must not silently combine with sharding");
+            assert_eq!(err, ShardConfigError::CheckpointUnsupported { workers });
+            assert_eq!(sink.len(), 0, "no partial results on a config error");
+        }
+    }
+
+    #[test]
+    fn invalid_plans_are_typed_errors() {
+        let g = generators::erdos_renyi(50, 200, 1);
+        let cfg = EmConfig::new(256, 32);
+        let mut sink = CollectingSink::new();
+        assert_eq!(
+            enumerate_triangles_sharded(
+                &g,
+                Algorithm::CacheAwareRandomized { seed: 1 },
+                cfg,
+                ShardPlan::new(0),
+                &mut sink,
+            )
+            .expect_err("zero workers"),
+            ShardConfigError::ZeroWorkers
+        );
+        assert_eq!(
+            enumerate_triangles_sharded(
+                &g,
+                Algorithm::HuTaoChung,
+                cfg,
+                ShardPlan::new(2),
+                &mut sink
+            )
+            .expect_err("baselines have no unit decomposition"),
+            ShardConfigError::UnsupportedAlgorithm {
+                name: "hu-tao-chung"
+            }
+        );
+        let err = ShardConfigError::CheckpointUnsupported { workers: 2 };
+        assert!(err
+            .to_string()
+            .contains("enumerate_triangles_with_recovery"));
+    }
+
+    #[test]
+    fn sharded_reports_are_deterministic_across_repeated_runs() {
+        let g = generators::erdos_renyi(200, 1500, 3);
+        let cfg = EmConfig::new(256, 32);
+        let run = || {
+            let mut sink = CollectingSink::new();
+            let r = enumerate_triangles_sharded(
+                &g,
+                Algorithm::CacheObliviousRandomized { seed: 2 },
+                cfg,
+                ShardPlan::new(3),
+                &mut sink,
+            )
+            .expect("valid plan");
+            (
+                r.workers.per_worker.clone(),
+                r.report.phases.clone(),
+                r.report.extra.clone(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

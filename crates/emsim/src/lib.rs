@@ -105,7 +105,7 @@ pub use faults::{CrashPoint, FaultEvent, FaultKind, FaultPlan, FaultyStorage};
 pub use gauge::{MemGauge, MemLease, PhaseSnapshot};
 pub use machine::Machine;
 pub use record::Record;
-pub use stats::{IoStats, RunStats};
+pub use stats::{IoStats, RunStats, WorkerReport};
 pub use storage::{RetryPolicy, Storage, StorageError, TransferDir};
 
 #[cfg(test)]

@@ -73,6 +73,15 @@ impl MachineInner {
 /// the same disk, cache and counters. The simulator is single-threaded by
 /// design (the I/O model is sequential), so a `Rc<RefCell<…>>` is the
 /// appropriate sharing primitive.
+///
+/// Parallel (PEM) runs do not clone a machine across threads — a handle is
+/// deliberately `!Send`. Instead, each worker thread constructs its *own*
+/// machine from the shared, `Copy` [`EmConfig`]: [`Machine::new`] allocates
+/// only an empty cache and zeroed counters, so per-worker machines are cheap
+/// to spawn, and each worker gets an independent [`IoStats`] and
+/// [`MemGauge`] (gauge-audit included). The per-worker counters are
+/// aggregated afterwards with [`crate::IoStats::merge`] /
+/// [`crate::WorkerReport`].
 #[derive(Clone)]
 pub struct Machine {
     inner: Rc<RefCell<MachineInner>>,
@@ -523,6 +532,37 @@ mod tests {
             m.fault_trace().last().unwrap().kind,
             crate::FaultKind::Crash
         );
+    }
+
+    #[test]
+    fn per_worker_machines_from_a_shared_config_account_independently() {
+        // The PEM spawning pattern: one Copy config, one machine per worker
+        // thread, independent counters and gauges.
+        let cfg = EmConfig::new(256, 64);
+        let counted: Vec<crate::IoStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0u64..3)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let m = Machine::new(cfg);
+                        let mut v: crate::ExtVec<u64> = crate::ExtVec::new(&m);
+                        // Worker w writes (w + 1) blocks' worth of words.
+                        for i in 0..(w + 1) * 64 {
+                            v.push(i);
+                        }
+                        m.cold_cache();
+                        m.stats().io
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(counted[0].writes, 1);
+        assert_eq!(counted[1].writes, 2);
+        assert_eq!(counted[2].writes, 3);
+        let report = crate::WorkerReport::from_per_worker(counted);
+        assert_eq!(report.max_io, 3);
+        assert_eq!(report.sum_io, 6);
+        assert!((report.balance - 1.5).abs() < 1e-12);
     }
 
     #[test]

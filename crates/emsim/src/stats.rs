@@ -29,6 +29,72 @@ impl IoStats {
             writes: self.writes - earlier.writes,
         }
     }
+
+    /// Component-wise sum of a set of counters — the `sum_io` of a
+    /// multi-worker (PEM) run, where each worker ran on its own [`crate::Machine`]
+    /// and accumulated an independent `IoStats`.
+    pub fn merge<I: IntoIterator<Item = IoStats>>(parts: I) -> IoStats {
+        parts
+            .into_iter()
+            .fold(IoStats::default(), |acc, part| acc + part)
+    }
+}
+
+/// Aggregated accounting of a parallel (PEM) run over `P` workers, each with
+/// its own [`crate::Machine`] and therefore its own [`IoStats`].
+///
+/// In the parallel external-memory model the cost of a computation is the
+/// **maximum** per-worker I/O (`max_io`) — all workers transfer blocks
+/// concurrently, so the wall-clock-relevant quantity is the slowest worker —
+/// while `sum_io` measures the total volume moved (and, compared against a
+/// sequential run, the replication overhead). `balance` relates the two:
+/// `max_io / (sum_io / P)`, i.e. `1.0` for a perfectly balanced run and `P`
+/// for a run where one worker did everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerReport {
+    /// One entry per worker, indexed by worker id (`0..P`).
+    pub per_worker: Vec<IoStats>,
+    /// `max_w per_worker[w].total()` — the PEM cost of the run.
+    pub max_io: u64,
+    /// `Σ_w per_worker[w].total()` — total transfer volume across workers.
+    pub sum_io: u64,
+    /// `max_io / (sum_io / P)`; `1.0` is ideal, `P` is fully serial.
+    /// `0.0` when the run moved no blocks at all.
+    pub balance: f64,
+}
+
+impl WorkerReport {
+    /// Aggregates per-worker counters (indexed by worker id).
+    ///
+    /// # Panics
+    /// Panics if `per_worker` is empty — a run has at least one worker.
+    pub fn from_per_worker(per_worker: Vec<IoStats>) -> WorkerReport {
+        assert!(!per_worker.is_empty(), "a run has at least one worker");
+        let max_io = per_worker.iter().map(IoStats::total).max().unwrap_or(0);
+        let sum_io = IoStats::merge(per_worker.iter().copied()).total();
+        let workers = per_worker.len() as u64;
+        let balance = if sum_io == 0 {
+            0.0
+        } else {
+            // Both operands are block counts well below 2^53; the division is
+            // exact enough for a balance gauge.
+            #[allow(clippy::cast_precision_loss)]
+            {
+                (max_io * workers) as f64 / sum_io as f64
+            }
+        };
+        WorkerReport {
+            per_worker,
+            max_io,
+            sum_io,
+            balance,
+        }
+    }
+
+    /// Number of workers `P` of the run.
+    pub fn workers(&self) -> usize {
+        self.per_worker.len()
+    }
 }
 
 impl std::ops::Add for IoStats {
@@ -137,6 +203,72 @@ mod tests {
             writes: 2,
         };
         assert_eq!(format!("{a}"), "5 I/Os (3 reads, 2 writes)");
+    }
+
+    #[test]
+    fn merge_is_a_component_wise_sum() {
+        let parts = [
+            IoStats {
+                reads: 10,
+                writes: 4,
+            },
+            IoStats {
+                reads: 5,
+                writes: 1,
+            },
+            IoStats::default(),
+        ];
+        assert_eq!(
+            IoStats::merge(parts),
+            IoStats {
+                reads: 15,
+                writes: 5
+            }
+        );
+        assert_eq!(IoStats::merge([]), IoStats::default());
+    }
+
+    #[test]
+    fn worker_report_aggregates_max_sum_and_balance() {
+        let report = WorkerReport::from_per_worker(vec![
+            IoStats {
+                reads: 10,
+                writes: 0,
+            },
+            IoStats {
+                reads: 20,
+                writes: 0,
+            },
+            IoStats {
+                reads: 15,
+                writes: 0,
+            },
+            IoStats {
+                reads: 15,
+                writes: 0,
+            },
+        ]);
+        assert_eq!(report.workers(), 4);
+        assert_eq!(report.max_io, 20);
+        assert_eq!(report.sum_io, 60);
+        // 20 / (60 / 4) = 1.333…
+        assert!((report.balance - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_report_balance_of_an_ideal_and_an_idle_run() {
+        let even = WorkerReport::from_per_worker(vec![
+            IoStats {
+                reads: 7,
+                writes: 3,
+            };
+            4
+        ]);
+        assert!((even.balance - 1.0).abs() < 1e-12);
+        let idle = WorkerReport::from_per_worker(vec![IoStats::default(); 2]);
+        assert_eq!(idle.max_io, 0);
+        assert_eq!(idle.sum_io, 0);
+        assert_eq!(idle.balance, 0.0);
     }
 
     #[test]

@@ -12,8 +12,9 @@ use emsim::EmConfig;
 use graphgen::{generators, naive, Graph, Triangle};
 use proptest::prelude::*;
 use trienum::{
-    count_triangles, enumerate_triangles_with_step3, enumerate_triangles_with_strategies,
-    Algorithm, CollectingSink, RecursionStrategy, Step3Strategy,
+    count_triangles, enumerate_triangles, enumerate_triangles_sharded,
+    enumerate_triangles_with_step3, enumerate_triangles_with_strategies, Algorithm, CollectingSink,
+    RecursionStrategy, ShardPlan, Step3Strategy,
 };
 
 /// The three paper algorithms, parameterised by a shared seed.
@@ -149,6 +150,62 @@ proptest! {
         let (a, _) = count_triangles(&g, Algorithm::CacheAwareRandomized { seed }, cfg);
         let (b, _) = count_triangles(&g, Algorithm::CacheObliviousRandomized { seed }, cfg);
         prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    // 15 external-memory runs per case (3 drivers x [sequential + 4 worker
+    // counts]) make this the most expensive property here; 10 cases keep
+    // the suite's runtime in line with the other oracles.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn sharded_drivers_are_worker_count_invariant_and_free_at_one_worker(
+        g in arb_family_graph(),
+        seed in 0u64..1000,
+    ) {
+        // The multi-worker scheduler pin: for every paper driver and every
+        // worker count, the sharded run must deliver the bit-identical
+        // sorted triangle multiset of the sequential entry point, and at
+        // P = 1 the (sole) worker's I/O must equal the sequential driver's
+        // exactly — the work-unit claims are free when nothing is sharded.
+        let cfg = EmConfig::new(256, 32);
+        for alg in paper_algorithms(seed) {
+            let mut seq_sink = CollectingSink::new();
+            let seq = enumerate_triangles(&g, alg, cfg, &mut seq_sink);
+            let mut reference = seq_sink.into_triangles();
+            reference.sort_unstable();
+            for workers in 1..=4usize {
+                let mut sink = CollectingSink::new();
+                let sharded =
+                    enumerate_triangles_sharded(&g, alg, cfg, ShardPlan::new(workers), &mut sink)
+                        .expect("paper drivers run sharded");
+                // The merged stream arrives globally sorted; no re-sort, so
+                // an out-of-order merge fails here too.
+                prop_assert_eq!(
+                    sink.into_triangles(),
+                    reference.clone(),
+                    "multiset for {} at P={}",
+                    alg.name(),
+                    workers
+                );
+                prop_assert_eq!(
+                    sharded.report.triangles,
+                    seq.triangles,
+                    "count for {} at P={}",
+                    alg.name(),
+                    workers
+                );
+                if workers == 1 {
+                    prop_assert_eq!(
+                        sharded.workers.sum_io,
+                        seq.io.total(),
+                        "P=1 I/O parity for {}",
+                        alg.name()
+                    );
+                }
+            }
+        }
     }
 }
 
