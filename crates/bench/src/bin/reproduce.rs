@@ -316,6 +316,36 @@ fn main() {
         );
     }
 
+    if want("e11") {
+        let outcome = experiment_e11(quick);
+        let title = "E11: sim-vs-disk — in-memory spec vs file-backed witness (M=4096, B=64)";
+        println!("{}", render_table(title, &outcome.rows));
+        // E11's timings ARE part of the JSON record (measured wall-clock
+        // next to simulated I/O is the point of the experiment), so this
+        // record is reproducible in its counts but not byte-stable.
+        println!(
+            "{}",
+            render_table("E11: wall-clock (recorded)", &outcome.timing)
+        );
+        for gate in &outcome.gates {
+            match gate.passed {
+                true => println!("{} gate: {}", gate.name, gate.detail),
+                false => failures.push(format!("E11 {} gate: {}", gate.name, gate.detail)),
+            }
+        }
+        let mut recorded = outcome.rows.clone();
+        recorded.extend(outcome.timing.iter().cloned());
+        write_record(
+            &json_dir,
+            "e11",
+            title,
+            &recorded,
+            &[],
+            &outcome.gates,
+            &mut failures,
+        );
+    }
+
     if !failures.is_empty() {
         for failure in &failures {
             eprintln!("gate FAILED: {failure}");

@@ -13,12 +13,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use emsim::{CrashPoint, EmConfig, FaultEvent, FaultPlan, Machine, PhaseSnapshot, RetryPolicy};
+use emsim::{
+    BackendKind, CrashPoint, EmConfig, FaultEvent, FaultPlan, Machine, PhaseSnapshot, RetryPolicy,
+};
 use graphgen::{generators, naive, Graph};
 use trienum::checkpoint::atomic_write;
 use trienum::lower_bound::LowerBound;
 use trienum::{
-    count_triangles, enumerate_triangles, enumerate_triangles_sharded,
+    count_triangles, enumerate_triangles, enumerate_triangles_on, enumerate_triangles_sharded,
     enumerate_triangles_with_recovery, measure_random_coloring_balance, resume_enumeration,
     Algorithm, Checkpoint, CheckpointSpec, CollectingSink, ExtGraph, RunReport, ShardPlan,
 };
@@ -1280,6 +1282,251 @@ pub fn experiment_e10(quick: bool) -> E10Outcome {
         rows,
         worker_rows,
         timing,
+        gates,
+    }
+}
+
+/// Minimum Pearson correlation the E11 gate demands between simulated
+/// charged transfers and measured real disk block I/O across the sweep. The
+/// buffer pool replays the simulator's LRU policy decision for decision, so
+/// the measured value should be ≈ 1.0; 0.9 is the gate's floor.
+pub const E11_MIN_CORRELATION: f64 = 0.9;
+
+/// Pearson correlation coefficient of the paired samples `(xs[i], ys[i])`.
+/// Returns 1.0 for degenerate inputs (fewer than two points, or a
+/// zero-variance side) *only* when the two sides are exactly equal —
+/// otherwise 0.0 — so a constant-but-matching sweep cannot fake a pass.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return if xs == ys { 1.0 } else { 0.0 };
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return if xs == ys { 1.0 } else { 0.0 };
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Everything the E11 sim-vs-disk sweep produced.
+pub struct E11Outcome {
+    /// One row per `(E, algorithm)` sweep point: triangles, simulated
+    /// charged transfers, real device reads/writes, and the real/simulated
+    /// ratio. Deterministic — these go into `BENCH_E11.json`.
+    pub rows: Vec<Row>,
+    /// Wall-clock milliseconds per backend and the disk/memory slowdown.
+    /// Unlike E10's timing these ARE recorded in the JSON (the ISSUE asks
+    /// for measured wall-clock next to simulated I/O), so `BENCH_E11.json`
+    /// is reproducible in its counts but not byte-stable in its timings.
+    pub timing: Vec<Row>,
+    /// The measured Pearson r between simulated transfers and real disk I/O.
+    pub correlation: f64,
+    /// Gate verdicts: `DISK_PARITY` and `E11_CORRELATION`.
+    pub gates: Vec<GateOutcome>,
+}
+
+/// **E11 — sim-vs-disk correlation.** Runs an E1-style size sweep of all
+/// three paper algorithms twice — once on the pure in-memory simulator, once
+/// genuinely out-of-core on the file-backed [`BackendKind::Disk`] plane —
+/// plus sharded runs at `P ∈ {1, 4}`, and holds the pair to two gates:
+///
+/// * **`DISK_PARITY`** — the simulator is the spec, the disk is the witness:
+///   any divergence in the triangle multiset, the charged read/write
+///   counts, or the logical transfer count between the two backends is a
+///   hard failure;
+/// * **`E11_CORRELATION`** — Pearson r between simulated charged transfers
+///   and measured real device block I/O across the sweep must be at least
+///   [`E11_MIN_CORRELATION`]. (By construction the pool performs exactly
+///   one real read per charged read and one real write per charged write,
+///   so r should come out ≈ 1.0; the gate guards the construction.)
+pub fn experiment_e11(quick: bool) -> E11Outcome {
+    let sizes: &[usize] = if quick {
+        &[1_000, 2_000, 4_000]
+    } else {
+        &[2_000, 4_000, 8_000, 16_000]
+    };
+    let cfg = default_config();
+
+    let mut rows = Vec::new();
+    let mut timing = Vec::new();
+    let mut parity: Result<(), String> = Ok(());
+    let mut sim_points = Vec::new();
+    let mut real_points = Vec::new();
+    let record = |slot: &mut Result<(), String>, err: String| {
+        if slot.is_ok() {
+            *slot = Err(err);
+        }
+    };
+
+    for &e in sizes {
+        let g = generators::erdos_renyi(e / 8, e, 1);
+        for alg in paper_algorithms() {
+            let label = format!("E={e} {}", alg.name());
+
+            let mem = Machine::new(cfg);
+            let mut mem_sink = CollectingSink::new();
+            let mem_start = std::time::Instant::now();
+            let mem_report = enumerate_triangles_on(&mem, &g, alg, &mut mem_sink);
+            let mem_ms = mem_start.elapsed().as_secs_f64() * 1e3;
+
+            let disk = Machine::with_backend(cfg, BackendKind::Disk);
+            let mut disk_sink = CollectingSink::new();
+            let disk_start = std::time::Instant::now();
+            let disk_report = enumerate_triangles_on(&disk, &g, alg, &mut disk_sink);
+            let disk_ms = disk_start.elapsed().as_secs_f64() * 1e3;
+            // Snapshot the real counters before the fsync below, then
+            // exercise the durability barrier (uncharged, so it cannot
+            // perturb the parity comparison).
+            let real = disk.disk_counters().expect("disk plane has real counters");
+            disk.sync();
+
+            // --- DISK_PARITY: the simulator is the spec. ---
+            let mut mem_triangles = mem_sink.into_triangles();
+            let mut disk_triangles = disk_sink.into_triangles();
+            mem_triangles.sort_unstable();
+            disk_triangles.sort_unstable();
+            if mem_triangles != disk_triangles {
+                record(
+                    &mut parity,
+                    format!(
+                        "{label}: disk multiset ({} triangles) differs from the simulator's ({})",
+                        disk_triangles.len(),
+                        mem_triangles.len()
+                    ),
+                );
+            }
+            if mem_report.io != disk_report.io {
+                record(
+                    &mut parity,
+                    format!(
+                        "{label}: charged transfers diverge — sim {}r/{}w vs disk {}r/{}w",
+                        mem_report.io.reads,
+                        mem_report.io.writes,
+                        disk_report.io.reads,
+                        disk_report.io.writes
+                    ),
+                );
+            }
+            if mem.transfers() != disk.transfers() {
+                record(
+                    &mut parity,
+                    format!(
+                        "{label}: logical transfer streams diverge — sim {} vs disk {}",
+                        mem.transfers(),
+                        disk.transfers()
+                    ),
+                );
+            }
+
+            // --- Correlation points: whole-machine charged transfers vs
+            // whole-run real device ops (both include the load phase, so
+            // they are the same coverage). ---
+            let sim_total = disk.io().total() as f64;
+            let real_total = real.total() as f64;
+            sim_points.push(sim_total);
+            real_points.push(real_total);
+
+            rows.push(
+                Row::new(label.clone())
+                    .col("triangles", disk_report.triangles as f64)
+                    .col("sim_io", mem_report.io.total() as f64)
+                    .col("disk_io", disk_report.io.total() as f64)
+                    .col("real_reads", real.block_reads as f64)
+                    .col("real_writes", real.block_writes as f64)
+                    .col("real_total", real_total)
+                    .col("real/sim", real_total / sim_total.max(1.0)),
+            );
+            timing.push(
+                Row::new(label)
+                    .col("mem_ms", mem_ms)
+                    .col("disk_ms", disk_ms)
+                    .col("slowdown", disk_ms / mem_ms.max(1e-9)),
+            );
+        }
+    }
+
+    // Sharded runs: every worker machine on the disk plane, P ∈ {1, 4}, at
+    // the largest sweep size — the out-of-core path must also hold under
+    // the work-unit scheduler.
+    let e = *sizes.last().expect("the sweep is non-empty");
+    let g = generators::erdos_renyi(e / 8, e, 1);
+    let alg = Algorithm::CacheAwareRandomized { seed: 0xA11CE };
+    for p in [1usize, 4] {
+        let label = format!("sharded E={e} aware P={p}");
+        let mut mem_sink = CollectingSink::new();
+        let mem_sharded =
+            enumerate_triangles_sharded(&g, alg, cfg, ShardPlan::new(p), &mut mem_sink)
+                .expect("the paper drivers support sharded execution");
+        let mut disk_sink = CollectingSink::new();
+        let disk_start = std::time::Instant::now();
+        let disk_sharded = enumerate_triangles_sharded(
+            &g,
+            alg,
+            cfg,
+            ShardPlan::new(p).with_backend(BackendKind::Disk),
+            &mut disk_sink,
+        )
+        .expect("the paper drivers support sharded execution");
+        let disk_ms = disk_start.elapsed().as_secs_f64() * 1e3;
+        // Both sinks receive the k-way-merged (already sorted) stream.
+        if mem_sink.into_triangles() != disk_sink.into_triangles() {
+            record(
+                &mut parity,
+                format!("{label}: disk-plane sharded multiset differs from the simulator's"),
+            );
+        }
+        if mem_sharded.workers.per_worker != disk_sharded.workers.per_worker {
+            record(
+                &mut parity,
+                format!(
+                    "{label}: per-worker charged I/O diverges — sim sum {} vs disk sum {}",
+                    mem_sharded.workers.sum_io, disk_sharded.workers.sum_io
+                ),
+            );
+        }
+        rows.push(
+            Row::new(label.clone())
+                .col("triangles", disk_sharded.report.triangles as f64)
+                .col("sim_io", mem_sharded.workers.sum_io as f64)
+                .col("disk_io", disk_sharded.workers.sum_io as f64)
+                .col("max_io", disk_sharded.workers.max_io as f64),
+        );
+        timing.push(Row::new(label).col("disk_ms", disk_ms));
+    }
+
+    let correlation = pearson(&sim_points, &real_points);
+    let corr_gate = if correlation >= E11_MIN_CORRELATION {
+        Ok(())
+    } else {
+        Err(format!(
+            "Pearson r = {correlation:.6} between simulated transfers and real disk I/O \
+             is below the {E11_MIN_CORRELATION} floor"
+        ))
+    };
+    let mut gates = vec![
+        GateOutcome::of("DISK_PARITY", &parity),
+        GateOutcome::of("E11_CORRELATION", &corr_gate),
+    ];
+    // Surface the measured r in the record even on a pass.
+    if let Some(g) = gates.last_mut() {
+        if g.passed {
+            g.detail = format!("Pearson r = {correlation:.6} (floor {E11_MIN_CORRELATION})");
+        }
+    }
+    E11Outcome {
+        rows,
+        timing,
+        correlation,
         gates,
     }
 }

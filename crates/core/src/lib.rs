@@ -66,7 +66,7 @@ pub use workunit::{
 // only this crate (the machine is part of the public API of the crash-safe
 // entry points, which accept a caller-built — possibly fault-injected —
 // machine).
-pub use emsim::{EmConfig, Machine};
+pub use emsim::{BackendKind, EmConfig, Machine};
 
 use graphgen::{Graph, Triangle};
 use stats::PhaseRecorder;
@@ -269,7 +269,43 @@ pub fn enumerate_triangles_with_strategies(
     recursion: RecursionStrategy,
 ) -> RunReport {
     let machine = Machine::new(cfg);
-    let ext = ExtGraph::load(&machine, graph);
+    run_on_machine(&machine, graph, algorithm, sink, strategy, recursion)
+}
+
+/// Enumerates every triangle of `graph` on a *caller-built* machine — the
+/// entry point for backend selection: pass a machine from
+/// [`Machine::with_backend`]`(cfg, `[`BackendKind::Disk`]`)` to run the
+/// identical algorithm genuinely out-of-core (payloads in a real temp file
+/// behind a buffer pool), with the gauge API and charge accounting
+/// unchanged. The report counts the same charged transfers on either
+/// backend; `machine.disk_counters()` afterwards exposes the *real* block
+/// I/O the run performed.
+pub fn enumerate_triangles_on(
+    machine: &Machine,
+    graph: &Graph,
+    algorithm: Algorithm,
+    sink: &mut dyn TriangleSink,
+) -> RunReport {
+    run_on_machine(
+        machine,
+        graph,
+        algorithm,
+        sink,
+        Step3Strategy::default(),
+        RecursionStrategy::default(),
+    )
+}
+
+fn run_on_machine(
+    machine: &Machine,
+    graph: &Graph,
+    algorithm: Algorithm,
+    sink: &mut dyn TriangleSink,
+    strategy: Step3Strategy,
+    recursion: RecursionStrategy,
+) -> RunReport {
+    let cfg = machine.config();
+    let ext = ExtGraph::load(machine, graph);
     // Start from a cold cache and a clean slate of counters for the run
     // itself (the load cost is excluded, as in the model).
     machine.cold_cache();

@@ -34,7 +34,7 @@
 //! sequential driver's operation sequence — the refactor is zero-cost, and
 //! the E10 gate pins `sum_io` at `P = 1` to the sequential driver's I/O.
 
-use emsim::{EmConfig, ExtVec, IoStats, Machine, PhaseSnapshot, WorkerReport};
+use emsim::{BackendKind, EmConfig, ExtVec, IoStats, Machine, PhaseSnapshot, WorkerReport};
 use graphgen::{Graph, Triangle};
 
 use crate::checkpoint::CheckpointSpec;
@@ -181,6 +181,12 @@ pub struct ShardPlan {
     /// [`ShardedReport::worker_units`]. Off by default (the log is
     /// proportional to the unit count).
     pub log_units: bool,
+    /// Data plane of each worker's machine. On [`BackendKind::Disk`] every
+    /// worker runs genuinely out-of-core with its own backing file and
+    /// buffer pool (temp-dir scoped, unlinked when the worker's machine
+    /// drops); the merge epilogue stays in-memory (it is the host-side
+    /// sequential pass). In-memory by default.
+    pub backend: BackendKind,
 }
 
 impl ShardPlan {
@@ -190,6 +196,7 @@ impl ShardPlan {
             workers,
             spawn_depth: DEFAULT_SPAWN_DEPTH,
             log_units: false,
+            backend: BackendKind::InMemory,
         }
     }
 
@@ -202,6 +209,12 @@ impl ShardPlan {
     /// Turns on per-worker unit logging.
     pub fn with_unit_log(mut self) -> ShardPlan {
         self.log_units = true;
+        self
+    }
+
+    /// Selects the data plane of every worker machine.
+    pub fn with_backend(mut self, backend: BackendKind) -> ShardPlan {
+        self.backend = backend;
         self
     }
 }
@@ -410,7 +423,7 @@ fn run_worker(
     plan: ShardPlan,
     worker: usize,
 ) -> WorkerRun {
-    let machine = Machine::new(cfg);
+    let machine = Machine::with_backend(cfg, plan.backend);
     let ext = ExtGraph::load(&machine, graph);
     machine.cold_cache();
     machine.gauge().reset_peak();

@@ -5,6 +5,14 @@
 //! cache tracks is *which* blocks are resident and *which are dirty*, so that
 //! cache misses and dirty evictions can be charged as read and write I/Os —
 //! precisely the quantities the external-memory model counts.
+//!
+//! The disk backend's [`crate::BufferPool`] mirrors this cache's replacement
+//! policy decision for decision (same strict LRU, same `capacity.max(1)`,
+//! same miss/victim/write-back sequence), which is what makes charged
+//! transfer counts identical across the two data planes. Change the policy
+//! here and you must change the pool identically — the
+//! `policy_matches_the_simulator_lru_cache` test in `pool.rs` and the E11
+//! `DISK_PARITY` gate will both catch a drift.
 
 use std::collections::HashMap;
 

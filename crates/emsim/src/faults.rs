@@ -123,17 +123,33 @@ pub struct CrashPoint {
 
 /// A [`Storage`] backend injecting the faults of a [`FaultPlan`] and
 /// recording every injected fault in a trace.
-#[derive(Debug)]
+///
+/// The fault schedule *wraps* an arbitrary inner [`Storage`] gate: a
+/// transfer that survives the schedule is forwarded to the inner gate, and
+/// the two layers' retry costs add up. [`FaultyStorage::new`] wraps the
+/// infallible in-memory gate (the common case); [`FaultyStorage::wrapping`]
+/// composes the schedule over any other gate, so faults apply identically
+/// over the in-memory and the real-disk data planes.
 pub struct FaultyStorage {
     plan: FaultPlan,
+    inner: Box<dyn Storage>,
     trace: Vec<FaultEvent>,
 }
 
 impl FaultyStorage {
-    /// Creates a backend executing `plan`.
+    /// Creates a backend executing `plan` over the infallible in-memory
+    /// gate.
     pub fn new(plan: FaultPlan) -> Self {
+        Self::wrapping(plan, Box::new(crate::storage::MemStorage))
+    }
+
+    /// Creates a backend executing `plan` over an arbitrary inner gate:
+    /// transfers that survive the fault schedule are forwarded to `inner`,
+    /// and retry costs from both layers are summed.
+    pub fn wrapping(plan: FaultPlan, inner: Box<dyn Storage>) -> Self {
         Self {
             plan,
+            inner,
             // emlint: allow(unleased, reason = "fault-trace bookkeeping, one entry per injected fault, not a data buffer")
             trace: Vec::new(),
         }
@@ -182,7 +198,7 @@ impl Storage for FaultyStorage {
             TransferDir::Write => self.plan.torn_write_per_mille,
         };
         if rate == 0 {
-            return Ok(RetryCost::default());
+            return self.inner.transfer(dir, io);
         }
         let max = self.plan.retry.max_attempts;
         let mut failures = 0u32;
@@ -210,14 +226,26 @@ impl Storage for FaultyStorage {
                 failed_attempts: failures,
             });
         }
+        // The transfer survived the schedule: forward it to the inner gate,
+        // summing both layers' retry costs.
+        let inner_cost = self.inner.transfer(dir, io)?;
         Ok(RetryCost {
-            failed_attempts: failures,
-            backoff_work: self.plan.retry.backoff_cost(failures),
+            failed_attempts: failures + inner_cost.failed_attempts,
+            backoff_work: self.plan.retry.backoff_cost(failures) + inner_cost.backoff_work,
         })
     }
 
     fn trace(&self) -> &[FaultEvent] {
         &self.trace
+    }
+}
+
+impl std::fmt::Debug for FaultyStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyStorage")
+            .field("plan", &self.plan)
+            .field("trace_len", &self.trace.len())
+            .finish()
     }
 }
 
@@ -318,6 +346,51 @@ mod tests {
             }
         }
         assert!(seen_multi, "a 50% rate must produce multi-failure streaks");
+    }
+
+    /// An inner gate that charges a fixed retry cost on every transfer, so
+    /// the wrap test can see both layers' costs being summed.
+    struct Surcharge;
+
+    impl Storage for Surcharge {
+        fn transfer(&mut self, _dir: TransferDir, _io: u64) -> Result<RetryCost, StorageError> {
+            Ok(RetryCost {
+                failed_attempts: 1,
+                backoff_work: 5,
+            })
+        }
+    }
+
+    #[test]
+    fn wrapping_an_inner_gate_sums_both_layers_costs() {
+        let plan = FaultPlan::new(7).with_read_faults(500);
+        let mut plain = FaultyStorage::new(plan);
+        let mut wrapped = FaultyStorage::wrapping(plan, Box::new(Surcharge));
+        for io in 0..500 {
+            match (
+                plain.transfer(TransferDir::Read, io),
+                wrapped.transfer(TransferDir::Read, io),
+            ) {
+                (Ok(p), Ok(w)) => {
+                    assert_eq!(w.failed_attempts, p.failed_attempts + 1);
+                    assert_eq!(w.backoff_work, p.backoff_work + 5);
+                }
+                (p, w) => assert_eq!(p, w, "permanent verdicts are identical"),
+            }
+        }
+        assert_eq!(
+            plain.trace(),
+            wrapped.trace(),
+            "the schedule is independent of the inner gate"
+        );
+    }
+
+    #[test]
+    fn zero_rate_transfers_still_flow_through_the_inner_gate() {
+        let mut s = FaultyStorage::wrapping(FaultPlan::new(0), Box::new(Surcharge));
+        let cost = s.transfer(TransferDir::Write, 0).unwrap();
+        assert_eq!(cost.failed_attempts, 1);
+        assert_eq!(cost.backoff_work, 5);
     }
 
     #[test]

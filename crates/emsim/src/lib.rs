@@ -49,7 +49,7 @@
 //! ## Storage backends and the error taxonomy
 //!
 //! Underneath the block cache, every *charged* transfer is routed through a
-//! [`Storage`] backend. Two backends exist:
+//! [`Storage`] backend (the *charge gate*). Two gates exist:
 //!
 //! * the infallible in-memory default ([`storage::MemStorage`], what
 //!   [`Machine::new`] installs) — always succeeds at zero cost, so
@@ -58,7 +58,19 @@
 //! * [`FaultyStorage`] ([`Machine::with_faults`]) — injects the
 //!   deterministic, seeded faults of a [`FaultPlan`]: transient read
 //!   errors, torn writes, and a `CrashAt(io)` kill switch, recording every
-//!   injected fault in a queryable trace ([`Machine::fault_trace`]).
+//!   injected fault in a queryable trace ([`Machine::fault_trace`]). It
+//!   *wraps* an arbitrary inner gate ([`FaultyStorage::wrapping`]), so
+//!   faults compose with either data plane.
+//!
+//! Orthogonal to the charge gate sits the **data plane**
+//! ([`BackendKind`]): where block *payloads* live. [`BackendKind::InMemory`]
+//! keeps them in host vecs (the pure simulator). [`BackendKind::Disk`]
+//! ([`Machine::with_backend`]) stores them in a real temp file through
+//! [`DiskStorage`], fronted by an explicit [`BufferPool`] of `M/B` frames
+//! whose replacement policy mirrors the simulator's LRU cache decision for
+//! decision — so the charged transfer counts are identical on both planes
+//! (the E11 `DISK_PARITY` gate) while the disk backend performs exactly one
+//! real block read per charged read and one real write per charged write.
 //!
 //! Fault outcomes split into three severities:
 //!
@@ -95,6 +107,7 @@ mod extvec;
 mod faults;
 mod gauge;
 mod machine;
+pub mod pool;
 mod record;
 mod stats;
 pub mod storage;
@@ -103,10 +116,13 @@ pub use config::EmConfig;
 pub use extvec::{ExtSlice, ExtVec, ScanReader};
 pub use faults::{CrashPoint, FaultEvent, FaultKind, FaultPlan, FaultyStorage};
 pub use gauge::{MemGauge, MemLease, PhaseSnapshot};
-pub use machine::Machine;
+pub use machine::{BackendKind, Machine};
+pub use pool::{BufferPool, PoolTouch};
 pub use record::Record;
 pub use stats::{IoStats, RunStats, WorkerReport};
-pub use storage::{RetryPolicy, Storage, StorageError, TransferDir};
+pub use storage::{
+    BlockDevice, DiskCounters, DiskStorage, RetryPolicy, Storage, StorageError, TransferDir,
+};
 
 #[cfg(test)]
 mod tests {

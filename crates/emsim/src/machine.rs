@@ -1,28 +1,67 @@
 //! The simulated external-memory machine.
 
 use std::cell::RefCell;
+use std::path::PathBuf;
 use std::rc::Rc;
 
 use crate::cache::{block_key, LruCache};
 use crate::config::EmConfig;
 use crate::faults::{CrashPoint, FaultEvent, FaultPlan, FaultyStorage};
 use crate::gauge::MemGauge;
+use crate::pool::BufferPool;
 use crate::stats::{IoStats, RunStats};
-use crate::storage::{MemStorage, Storage, StorageError, TransferDir};
+use crate::storage::{
+    BlockDevice, DiskCounters, DiskStorage, MemStorage, Storage, StorageError, TransferDir,
+};
+
+/// Which data plane a machine runs on: where block *payloads* live.
+///
+/// Orthogonal to the charge gate (the [`Storage`] backend deciding
+/// per-transfer success and faults): a machine combines one of each, so
+/// fault plans compose with either plane.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The pure simulator: payloads live in host vecs, the LRU cache tracks
+    /// residency, nothing touches a file.
+    #[default]
+    InMemory,
+    /// Genuinely out-of-core: payloads live in a real temp file through
+    /// [`DiskStorage`], fronted by a [`BufferPool`] of `M/B` frames whose
+    /// replacement policy mirrors the simulator's LRU cache decision for
+    /// decision — charged transfer counts are identical on both planes, and
+    /// the device sees exactly one real read per charged read and one real
+    /// write per charged write.
+    Disk,
+}
 
 struct Segment {
+    /// Payload words — only populated on the in-memory plane (on disk the
+    /// payloads live in the buffer pool and the backing file).
     words: Vec<u64>,
+    /// Logical length in words, maintained on both planes.
+    len: usize,
     live: bool,
 }
 
-struct MachineInner {
-    config: EmConfig,
-    segments: Vec<Segment>,
-    free_segments: Vec<u32>,
-    cache: LruCache,
+/// Where block payloads live. The charge accounting never looks inside:
+/// both variants drive the same LRU policy and the same charge points.
+/// (Boxed: the disk plane is ~300 bytes of pool + device state, and the
+/// common in-memory variant should not pay for it.)
+enum DataPlane {
+    Mem,
+    Disk(Box<DiskPlane>),
+}
+
+struct DiskPlane {
+    pool: BufferPool,
+    dev: DiskStorage,
+}
+
+/// The charge-accounting lane: the counters plus the [`Storage`] gate every
+/// charged transfer routes through. Split from [`MachineInner`] so the disk
+/// plane can charge transfers while holding borrows into the data plane.
+struct ChargeLane {
     io: IoStats,
-    disk_words: u64,
-    peak_disk_words: u64,
     work: u64,
     storage: Box<dyn Storage>,
     /// 0-based count of *logical* charged transfers (retries excluded):
@@ -33,7 +72,7 @@ struct MachineInner {
     retry_work: u64,
 }
 
-impl MachineInner {
+impl ChargeLane {
     /// Routes one charged block transfer through the storage backend, then
     /// bumps the direction counter plus any absorbed retry cost.
     ///
@@ -63,6 +102,19 @@ impl MachineInner {
     }
 }
 
+struct MachineInner {
+    config: EmConfig,
+    segments: Vec<Segment>,
+    free_segments: Vec<u32>,
+    /// Residency/dirty tracking for the in-memory plane (the disk plane's
+    /// buffer pool tracks its own, with the identical policy).
+    cache: LruCache,
+    data: DataPlane,
+    lane: ChargeLane,
+    disk_words: u64,
+    peak_disk_words: u64,
+}
+
 /// A cheap, clonable handle to a simulated external-memory machine.
 ///
 /// The machine owns the disk (a set of independently growable *segments*, one
@@ -79,9 +131,10 @@ impl MachineInner {
 /// machine from the shared, `Copy` [`EmConfig`]: [`Machine::new`] allocates
 /// only an empty cache and zeroed counters, so per-worker machines are cheap
 /// to spawn, and each worker gets an independent [`IoStats`] and
-/// [`MemGauge`] (gauge-audit included). The per-worker counters are
-/// aggregated afterwards with [`crate::IoStats::merge`] /
-/// [`crate::WorkerReport`].
+/// [`MemGauge`] (gauge-audit included). On the disk plane each worker machine
+/// likewise owns its own backing file and buffer pool (temp-dir scoped,
+/// unlinked on drop). The per-worker counters are aggregated afterwards with
+/// [`crate::IoStats::merge`] / [`crate::WorkerReport`].
 #[derive(Clone)]
 pub struct Machine {
     inner: Rc<RefCell<MachineInner>>,
@@ -93,7 +146,7 @@ impl Machine {
     /// Creates a machine with the given memory/block configuration, a cold
     /// cache, and the infallible [`MemStorage`] backend.
     pub fn new(config: EmConfig) -> Self {
-        Self::with_storage(config, Box::new(MemStorage))
+        Self::with_parts(config, Box::new(MemStorage), BackendKind::InMemory)
     }
 
     /// Creates a machine whose storage executes the given fault plan: reads
@@ -101,24 +154,71 @@ impl Machine {
     /// to the `retry_io`/`retry_work` counters, and the `CrashAt` kill
     /// switch (if armed) panics with a [`CrashPoint`] payload mid-run.
     pub fn with_faults(config: EmConfig, plan: FaultPlan) -> Self {
-        Self::with_storage(config, Box::new(FaultyStorage::new(plan)))
+        Self::with_parts(
+            config,
+            Box::new(FaultyStorage::new(plan)),
+            BackendKind::InMemory,
+        )
     }
 
-    fn with_storage(config: EmConfig, storage: Box<dyn Storage>) -> Self {
+    /// Creates a fault-free machine on the chosen data plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the disk plane's backing file cannot be created.
+    pub fn with_backend(config: EmConfig, backend: BackendKind) -> Self {
+        Self::with_parts(config, Box::new(MemStorage), backend)
+    }
+
+    /// Creates a machine combining a fault plan (the charge gate) with a
+    /// data plane — e.g. transient faults injected over the real disk
+    /// backend.
+    pub fn with_faults_and_backend(
+        config: EmConfig,
+        plan: FaultPlan,
+        backend: BackendKind,
+    ) -> Self {
+        Self::with_parts(config, Box::new(FaultyStorage::new(plan)), backend)
+    }
+
+    /// Creates a machine with an arbitrary charge gate and data plane.
+    pub fn with_storage_backend(
+        config: EmConfig,
+        storage: Box<dyn Storage>,
+        backend: BackendKind,
+    ) -> Self {
+        Self::with_parts(config, storage, backend)
+    }
+
+    fn with_parts(config: EmConfig, storage: Box<dyn Storage>, backend: BackendKind) -> Self {
+        let data = match backend {
+            BackendKind::InMemory => DataPlane::Mem,
+            BackendKind::Disk => {
+                let dev = DiskStorage::create(config.block_words)
+                    .unwrap_or_else(|e| panic!("failed to create the disk backend file: {e}"));
+                DataPlane::Disk(Box::new(DiskPlane {
+                    pool: BufferPool::new(config.frames(), config.block_words),
+                    dev,
+                }))
+            }
+        };
         Self {
             inner: Rc::new(RefCell::new(MachineInner {
                 config,
                 segments: Vec::new(),
                 free_segments: Vec::new(),
                 cache: LruCache::new(config.frames()),
-                io: IoStats::default(),
+                data,
+                lane: ChargeLane {
+                    io: IoStats::default(),
+                    work: 0,
+                    storage,
+                    transfers: 0,
+                    retry_io: 0,
+                    retry_work: 0,
+                },
                 disk_words: 0,
                 peak_disk_words: 0,
-                work: 0,
-                storage,
-                transfers: 0,
-                retry_io: 0,
-                retry_work: 0,
             })),
             gauge: MemGauge::new(),
             config,
@@ -130,6 +230,45 @@ impl Machine {
         self.config
     }
 
+    /// Which data plane this machine runs on.
+    pub fn backend(&self) -> BackendKind {
+        match self.inner.borrow().data {
+            DataPlane::Mem => BackendKind::InMemory,
+            DataPlane::Disk(_) => BackendKind::Disk,
+        }
+    }
+
+    /// The real-I/O counters of the disk backend (`None` on the in-memory
+    /// plane): executed block reads/writes and fsyncs, as opposed to the
+    /// *charged* transfers in [`Machine::io`]. On a fault-free disk machine
+    /// the two agree exactly — real reads equal charged reads, real writes
+    /// equal charged writes — which is what E11 verifies.
+    pub fn disk_counters(&self) -> Option<DiskCounters> {
+        match &self.inner.borrow().data {
+            DataPlane::Mem => None,
+            DataPlane::Disk(plane) => Some(plane.dev.counters()),
+        }
+    }
+
+    /// The disk plane's backing-file path (`None` on the in-memory plane).
+    /// The file is unlinked when the last machine handle drops.
+    pub fn disk_file(&self) -> Option<PathBuf> {
+        match &self.inner.borrow().data {
+            DataPlane::Mem => None,
+            DataPlane::Disk(plane) => Some(plane.dev.path().to_path_buf()),
+        }
+    }
+
+    /// Durability barrier on the disk plane (`fsync` of the backing file);
+    /// a no-op in memory. Not a charged transfer. Note this persists what
+    /// the *device* has seen — call [`Machine::flush`] first to push dirty
+    /// pool frames (as charged writes) if you want a full barrier.
+    pub fn sync(&self) {
+        if let DataPlane::Disk(plane) = &mut self.inner.borrow_mut().data {
+            plane.dev.sync();
+        }
+    }
+
     /// The gauge tracking in-core working-buffer usage.
     pub fn gauge(&self) -> &MemGauge {
         &self.gauge
@@ -137,27 +276,27 @@ impl Machine {
 
     /// Adds `n` units to the coarse RAM-operation counter.
     pub fn work(&self, n: u64) {
-        self.inner.borrow_mut().work += n;
+        self.inner.borrow_mut().lane.work += n;
     }
 
     /// Snapshot of every counter.
     pub fn stats(&self) -> RunStats {
         let inner = self.inner.borrow();
         RunStats {
-            io: inner.io,
+            io: inner.lane.io,
             disk_words: inner.disk_words,
             peak_disk_words: inner.peak_disk_words,
             mem_words_in_use: self.gauge.in_use(),
             peak_mem_words: self.gauge.peak(),
-            work_ops: inner.work,
-            retry_io: inner.retry_io,
-            retry_work: inner.retry_work,
+            work_ops: inner.lane.work,
+            retry_io: inner.lane.retry_io,
+            retry_work: inner.lane.retry_work,
         }
     }
 
     /// Just the I/O counters.
     pub fn io(&self) -> IoStats {
-        self.inner.borrow().io
+        self.inner.borrow().lane.io
     }
 
     /// The number of logical charged transfers so far — the coordinate
@@ -165,40 +304,77 @@ impl Machine {
     /// retries have been absorbed (retries charge extra I/Os but share the
     /// ordinal of the transfer they retried).
     pub fn transfers(&self) -> u64 {
-        self.inner.borrow().transfers
+        self.inner.borrow().lane.transfers
     }
 
     /// The fault events the storage backend recorded so far (always empty on
     /// the infallible default backend).
     pub fn fault_trace(&self) -> Vec<FaultEvent> {
-        self.inner.borrow().storage.trace().to_vec()
+        self.inner.borrow().lane.storage.trace().to_vec()
     }
 
     /// Evicts the entire cache (charging write I/Os for dirty blocks), so
-    /// that a subsequent measurement starts cold. Returns the number of
+    /// that a subsequent measurement starts cold. On the disk plane every
+    /// dirty frame is also really written to the backing file, so the charge
+    /// and the device write stay one-to-one. Returns the number of
     /// write-backs charged.
     pub fn cold_cache(&self) -> u64 {
-        let mut inner = self.inner.borrow_mut();
-        let writes = inner.cache.clear();
-        for _ in 0..writes {
-            if let Err(e) = inner.charge(TransferDir::Write) {
-                panic!("unrecoverable storage fault while emptying the cache: {e}");
+        let mut guard = self.inner.borrow_mut();
+        let inner = &mut *guard;
+        match &mut inner.data {
+            DataPlane::Mem => {
+                let writes = inner.cache.clear();
+                for _ in 0..writes {
+                    if let Err(e) = inner.lane.charge(TransferDir::Write) {
+                        panic!("unrecoverable storage fault while emptying the cache: {e}");
+                    }
+                }
+                writes
+            }
+            DataPlane::Disk(plane) => {
+                let DiskPlane { pool, dev } = &mut **plane;
+                let dirty = pool.dirty_keys();
+                for &key in &dirty {
+                    if let Err(e) = inner.lane.charge(TransferDir::Write) {
+                        panic!("unrecoverable storage fault while emptying the cache: {e}");
+                    }
+                    dev.write_block(key, pool.frame(key));
+                    pool.mark_clean(key);
+                }
+                pool.clear();
+                dirty.len() as u64
             }
         }
-        writes
     }
 
     /// Flushes dirty cached blocks to disk (charging write I/Os) without
     /// evicting them.
     pub fn flush(&self) -> u64 {
-        let mut inner = self.inner.borrow_mut();
-        let writes = inner.cache.flush();
-        for _ in 0..writes {
-            if let Err(e) = inner.charge(TransferDir::Write) {
-                panic!("unrecoverable storage fault while flushing the cache: {e}");
+        let mut guard = self.inner.borrow_mut();
+        let inner = &mut *guard;
+        match &mut inner.data {
+            DataPlane::Mem => {
+                let writes = inner.cache.flush();
+                for _ in 0..writes {
+                    if let Err(e) = inner.lane.charge(TransferDir::Write) {
+                        panic!("unrecoverable storage fault while flushing the cache: {e}");
+                    }
+                }
+                writes
+            }
+            DataPlane::Disk(plane) => {
+                let DiskPlane { pool, dev } = &mut **plane;
+                let dirty = pool.dirty_keys();
+                for &key in &dirty {
+                    if let Err(e) = inner.lane.charge(TransferDir::Write) {
+                        panic!("unrecoverable storage fault while flushing the cache: {e}");
+                    }
+                    dev.write_block(key, pool.frame(key));
+                    pool.mark_clean(key);
+                }
+                dirty.len() as u64
             }
         }
-        writes
     }
 
     /// Number of block frames in the simulated internal memory (`M / B`).
@@ -215,12 +391,14 @@ impl Machine {
         if let Some(id) = inner.free_segments.pop() {
             inner.segments[id as usize] = Segment {
                 words: Vec::new(),
+                len: 0,
                 live: true,
             };
             id
         } else {
             inner.segments.push(Segment {
                 words: Vec::new(),
+                len: 0,
                 live: true,
             });
             u32::try_from(inner.segments.len() - 1).expect("segment count exceeds u32")
@@ -228,7 +406,8 @@ impl Machine {
     }
 
     pub(crate) fn free_segment(&self, seg: u32) {
-        let mut inner = self.inner.borrow_mut();
+        let mut guard = self.inner.borrow_mut();
+        let inner = &mut *guard;
         let block_words = inner.config.block_words as u64;
         let seg_words;
         {
@@ -237,14 +416,28 @@ impl Machine {
                 return;
             }
             s.live = false;
-            seg_words = s.words.len() as u64;
+            seg_words = s.len as u64;
+            s.len = 0;
             s.words = Vec::new();
         }
         inner.disk_words -= seg_words;
-        // Forget the dead blocks so their eviction is never charged.
+        // Forget the dead blocks so their eviction is never charged (and, on
+        // disk, release their file slots for recycling).
         let nblocks = seg_words.div_ceil(block_words);
-        for b in 0..nblocks {
-            inner.cache.discard(block_key(seg, b));
+        match &mut inner.data {
+            DataPlane::Mem => {
+                for b in 0..nblocks {
+                    inner.cache.discard(block_key(seg, b));
+                }
+            }
+            DataPlane::Disk(plane) => {
+                let DiskPlane { pool, dev } = &mut **plane;
+                for b in 0..nblocks {
+                    let key = block_key(seg, b);
+                    pool.discard(key);
+                    dev.free_block(key);
+                }
+            }
         }
         inner.free_segments.push(seg);
     }
@@ -264,21 +457,51 @@ impl Machine {
     /// (retry exhaustion) surface as errors instead of panics. A `CrashAt`
     /// kill switch still panics — a crash is not handleable.
     pub(crate) fn try_read_word(&self, seg: u32, idx: usize) -> Result<u64, StorageError> {
-        let mut inner = self.inner.borrow_mut();
-        let block = (idx / inner.config.block_words) as u64;
-        let touch = inner.cache.touch(block_key(seg, block), false);
-        if touch.miss {
-            if let Err(e) = inner.charge(TransferDir::Read) {
-                // The block never arrived: evict the speculative cache entry
-                // so a later retry faces (and is charged for) a real miss.
-                inner.cache.discard(block_key(seg, block));
-                return Err(e);
+        let mut guard = self.inner.borrow_mut();
+        let inner = &mut *guard;
+        let block_words = inner.config.block_words;
+        let block = (idx / block_words) as u64;
+        let key = block_key(seg, block);
+        match &mut inner.data {
+            DataPlane::Mem => {
+                let touch = inner.cache.touch(key, false);
+                if touch.miss {
+                    if let Err(e) = inner.lane.charge(TransferDir::Read) {
+                        // The block never arrived: evict the speculative cache
+                        // entry so a later retry faces (and is charged for) a
+                        // real miss.
+                        inner.cache.discard(key);
+                        return Err(e);
+                    }
+                }
+                if touch.writeback {
+                    inner.lane.charge(TransferDir::Write)?;
+                }
+                Ok(inner.segments[seg as usize].words[idx])
+            }
+            DataPlane::Disk(plane) => {
+                let DiskPlane { pool, dev } = &mut **plane;
+                let seg_len = inner.segments[seg as usize].len;
+                assert!(
+                    idx < seg_len,
+                    "read past end of segment: idx {idx}, len {seg_len}"
+                );
+                let touch = pool.access(key, false, false, dev);
+                if touch.miss {
+                    if let Err(e) = inner.lane.charge(TransferDir::Read) {
+                        // Same recovery as in memory: drop the just-admitted
+                        // frame so a retry faces a real miss again (the block
+                        // is still intact on the device).
+                        pool.discard(key);
+                        return Err(e);
+                    }
+                }
+                if touch.writeback {
+                    inner.lane.charge(TransferDir::Write)?;
+                }
+                Ok(pool.word(key, idx % block_words))
             }
         }
-        if touch.writeback {
-            inner.charge(TransferDir::Write)?;
-        }
-        Ok(inner.segments[seg as usize].words[idx])
     }
 
     /// Writes `value` at `idx` of segment `seg` (which must be `≤ len`,
@@ -301,59 +524,68 @@ impl Machine {
         idx: usize,
         value: u64,
     ) -> Result<(), StorageError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut guard = self.inner.borrow_mut();
+        let inner = &mut *guard;
+        let seg_len = inner.segments[seg as usize].len;
+        if idx > seg_len {
+            panic!("write past end of segment: idx {idx}, len {seg_len}");
+        }
         if let Some(capacity_words) = inner.config.disk_capacity_words {
-            let appending = idx == inner.segments[seg as usize].words.len();
-            if appending && inner.disk_words + 1 > capacity_words {
+            if idx == seg_len && inner.disk_words + 1 > capacity_words {
                 return Err(StorageError::NoSpace {
                     capacity_words,
                     requested_words: inner.disk_words + 1,
                 });
             }
         }
-        let block = (idx / inner.config.block_words) as u64;
-        let touch = inner.cache.touch(block_key(seg, block), true);
+        let block_words = inner.config.block_words;
+        let block = (idx / block_words) as u64;
+        let key = block_key(seg, block);
         // Appending a word to a fresh block does not require reading the
         // block from disk first (the model writes whole blocks); but writing
         // into the middle of an uncached block does (read-modify-write).
-        if touch.miss {
-            let segment = &inner.segments[seg as usize];
-            let block_start = usize::try_from(block).expect("block index exceeds usize")
-                * inner.config.block_words;
-            let fresh_append = idx == segment.words.len() && idx == block_start;
-            if !fresh_append {
-                if let Err(e) = inner.charge(TransferDir::Read) {
-                    // Read-modify-write fill failed: evict the speculative
-                    // entry so a retry faces a real miss again.
-                    inner.cache.discard(block_key(seg, block));
-                    return Err(e);
+        let block_start = usize::try_from(block).expect("block index exceeds usize") * block_words;
+        let fresh_append = idx == seg_len && idx == block_start;
+        match &mut inner.data {
+            DataPlane::Mem => {
+                let touch = inner.cache.touch(key, true);
+                if touch.miss && !fresh_append {
+                    if let Err(e) = inner.lane.charge(TransferDir::Read) {
+                        // Read-modify-write fill failed: evict the speculative
+                        // entry so a retry faces a real miss again.
+                        inner.cache.discard(key);
+                        return Err(e);
+                    }
                 }
-            }
-        }
-        if touch.writeback {
-            inner.charge(TransferDir::Write)?;
-        }
-        let appended;
-        {
-            let segment = &mut inner.segments[seg as usize];
-            match idx.cmp(&segment.words.len()) {
-                std::cmp::Ordering::Less => {
+                if touch.writeback {
+                    inner.lane.charge(TransferDir::Write)?;
+                }
+                let segment = &mut inner.segments[seg as usize];
+                if idx < seg_len {
                     segment.words[idx] = value;
-                    appended = false;
-                }
-                std::cmp::Ordering::Equal => {
+                } else {
                     segment.words.push(value);
-                    appended = true;
-                }
-                std::cmp::Ordering::Greater => {
-                    panic!(
-                        "write past end of segment: idx {idx}, len {}",
-                        segment.words.len()
-                    )
                 }
             }
+            DataPlane::Disk(plane) => {
+                let DiskPlane { pool, dev } = &mut **plane;
+                // A fresh append materialises a zeroed frame with no device
+                // read, mirroring the simulator's uncharged fresh miss.
+                let touch = pool.access(key, true, fresh_append, dev);
+                if touch.miss && !fresh_append {
+                    if let Err(e) = inner.lane.charge(TransferDir::Read) {
+                        pool.discard(key);
+                        return Err(e);
+                    }
+                }
+                if touch.writeback {
+                    inner.lane.charge(TransferDir::Write)?;
+                }
+                pool.set_word(key, idx - block_start, value);
+            }
         }
-        if appended {
+        if idx == seg_len {
+            inner.segments[seg as usize].len += 1;
             inner.disk_words += 1;
             if inner.disk_words > inner.peak_disk_words {
                 inner.peak_disk_words = inner.disk_words;
@@ -364,9 +596,11 @@ impl Machine {
 
     pub(crate) fn truncate_segment(&self, seg: u32, new_words: usize) {
         let mut inner = self.inner.borrow_mut();
-        let old = inner.segments[seg as usize].words.len();
+        let old = inner.segments[seg as usize].len;
         if new_words < old {
-            inner.segments[seg as usize].words.truncate(new_words);
+            let s = &mut inner.segments[seg as usize];
+            s.len = new_words;
+            s.words.truncate(new_words);
             inner.disk_words -= (old - new_words) as u64;
         }
     }
@@ -377,6 +611,7 @@ impl std::fmt::Debug for Machine {
         let s = self.stats();
         f.debug_struct("Machine")
             .field("config", &self.config)
+            .field("backend", &self.backend())
             .field("stats", &s)
             .finish()
     }
@@ -575,5 +810,116 @@ mod tests {
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || thrash(&m2)));
         assert!(m.stats().io.total() <= 5);
         assert!(!m.fault_trace().is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Disk-plane parity tests.
+    // ------------------------------------------------------------------
+
+    /// A workload covering every charge path: fresh appends, dirty
+    /// evictions, cold reads, read-modify-write overwrites, truncation and
+    /// re-growth, and segment free/recycle.
+    fn exercise(m: &Machine) -> Vec<u64> {
+        let seg = m.new_segment();
+        for i in 0..64 * 8usize {
+            m.write_word(seg, i, i as u64);
+        }
+        m.cold_cache();
+        // Read-modify-write overwrites of cold blocks.
+        for i in (0..64 * 8usize).step_by(97) {
+            m.write_word(seg, i, (i as u64) * 3 + 1);
+        }
+        // Truncate to mid-block and grow back.
+        m.truncate_segment(seg, 100);
+        for i in 100..300usize {
+            m.write_word(seg, i, 7_000 + i as u64);
+        }
+        // A short-lived scratch segment, freed again.
+        let scratch = m.new_segment();
+        for i in 0..130usize {
+            m.write_word(scratch, i, 1);
+        }
+        m.free_segment(scratch);
+        m.cold_cache();
+        (0..300usize).map(|i| m.read_word(seg, i)).collect()
+    }
+
+    #[test]
+    fn disk_plane_matches_memory_accounting_and_payloads() {
+        let cfg = EmConfig::new(256, 64); // 4 frames: plenty of eviction
+        let mem = Machine::new(cfg);
+        let mem_words = exercise(&mem);
+        let disk = Machine::with_backend(cfg, BackendKind::Disk);
+        assert_eq!(disk.backend(), BackendKind::Disk);
+        let disk_words = exercise(&disk);
+        assert_eq!(mem_words, disk_words, "bit-identical payloads");
+        assert_eq!(mem.stats(), disk.stats(), "identical charged accounting");
+        assert_eq!(mem.transfers(), disk.transfers());
+    }
+
+    #[test]
+    fn disk_plane_real_ops_equal_charged_ops() {
+        let disk = Machine::with_backend(EmConfig::new(256, 64), BackendKind::Disk);
+        exercise(&disk);
+        let io = disk.io();
+        let real = disk.disk_counters().expect("disk plane has counters");
+        assert_eq!(real.block_reads, io.reads, "one real read per charged read");
+        assert_eq!(
+            real.block_writes, io.writes,
+            "one real write per charged write"
+        );
+        disk.sync();
+        assert_eq!(disk.disk_counters().unwrap().syncs, 1);
+    }
+
+    #[test]
+    fn disk_plane_backing_file_is_unlinked_on_drop() {
+        let path = {
+            let m = Machine::with_backend(EmConfig::new(256, 64), BackendKind::Disk);
+            let seg = m.new_segment();
+            for i in 0..200usize {
+                m.write_word(seg, i, i as u64);
+            }
+            m.flush();
+            let path = m.disk_file().expect("disk plane has a backing file");
+            assert!(path.exists(), "backing file exists while the machine lives");
+            path
+        };
+        assert!(
+            !path.exists(),
+            "backing file unlinked when the machine drops"
+        );
+    }
+
+    #[test]
+    fn faults_over_the_disk_plane_match_memory_exactly() {
+        let plan = crate::FaultPlan::new(4242)
+            .with_read_faults(120)
+            .with_torn_writes(80);
+        let mem = Machine::with_faults(EmConfig::new(256, 64), plan);
+        let mem_words = exercise(&mem);
+        let disk =
+            Machine::with_faults_and_backend(EmConfig::new(256, 64), plan, BackendKind::Disk);
+        let disk_words = exercise(&disk);
+        assert_eq!(mem_words, disk_words);
+        assert_eq!(mem.stats(), disk.stats(), "same faults, same accounting");
+        assert_eq!(mem.fault_trace(), disk.fault_trace(), "same fault schedule");
+        assert!(mem.stats().retry_io > 0, "the schedule must actually fire");
+    }
+
+    #[test]
+    fn crash_on_the_disk_plane_still_unlinks_the_file() {
+        let plan = crate::FaultPlan::new(0).with_crash_at(6);
+        let m = Machine::with_faults_and_backend(EmConfig::new(256, 64), plan, BackendKind::Disk);
+        let path = m.disk_file().unwrap();
+        let m2 = m.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || thrash(&m2)));
+        assert!(result.is_err(), "the kill switch must fire");
+        assert!(
+            path.exists(),
+            "file survives the caught crash for inspection"
+        );
+        drop(m);
+        assert!(!path.exists(), "file unlinked once every handle is gone");
     }
 }

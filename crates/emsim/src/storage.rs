@@ -1,25 +1,44 @@
 //! Storage backends beneath the simulated disk: the error taxonomy, the
-//! retry policy, and the infallible in-memory default.
+//! retry policy, the infallible in-memory default, and the real file-backed
+//! block device.
 //!
-//! Every *charged* block transfer of the [`crate::Machine`] — a cache-miss
-//! read, a read-modify-write fill, a dirty eviction, a flush — is routed
-//! through a [`Storage`] backend before the I/O counters are bumped. The
-//! backend decides whether the transfer succeeds, and at what retry cost:
+//! The storage layer has two orthogonal seams:
 //!
-//! * [`MemStorage`] (the default) always succeeds at zero cost, so the
-//!   accounting of fault-free runs is byte-identical to a machine without a
-//!   storage layer at all — the fault machinery is pay-for-what-you-use.
-//! * [`crate::FaultyStorage`] injects deterministic, seeded faults: transient
-//!   read errors and torn writes (absorbed by a bounded [`RetryPolicy`] and
-//!   charged to the `retry_io` / `retry_work` counters of
-//!   [`crate::RunStats`]), plus a `CrashAt` kill switch that aborts the run
-//!   mid-transfer.
+//! 1. **The charge gate** ([`Storage`]). Every *charged* block transfer of
+//!    the [`crate::Machine`] — a cache-miss read, a read-modify-write fill,
+//!    a dirty eviction, a flush — is routed through a [`Storage`] backend
+//!    before the I/O counters are bumped. The backend decides whether the
+//!    transfer succeeds, and at what retry cost:
+//!
+//!    * [`MemStorage`] (the default) always succeeds at zero cost, so the
+//!      accounting of fault-free runs is byte-identical to a machine without
+//!      a storage layer at all — the fault machinery is pay-for-what-you-use.
+//!    * [`crate::FaultyStorage`] injects deterministic, seeded faults:
+//!      transient read errors and torn writes (absorbed by a bounded
+//!      [`RetryPolicy`] and charged to the `retry_io` / `retry_work`
+//!      counters of [`crate::RunStats`]), plus a `CrashAt` kill switch that
+//!      aborts the run mid-transfer. Its fault schedule wraps an arbitrary
+//!      inner [`Storage`] ([`crate::FaultyStorage::wrapping`]), so faults
+//!      compose with any charge gate underneath.
+//!
+//! 2. **The data plane** ([`BlockDevice`]). The charge gate carries no
+//!    payload; block *data* lives either in host RAM (the pure simulator) or
+//!    on a real [`DiskStorage`] file fronted by a [`crate::BufferPool`]
+//!    (machines built with [`crate::BackendKind::Disk`]). The two seams are
+//!    independent: faults wrap either backend, and the disk backend executes
+//!    one real block read/write at exactly the points the simulator charges
+//!    one — which is what the E11 parity experiment verifies.
 //!
 //! Permanent failures — retry exhaustion and disk-full — surface as typed
 //! [`StorageError`]s through the `try_*` accessors of [`crate::ExtVec`];
 //! the infallible accessors panic with the error's message.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Direction of a block transfer, as seen by a [`Storage`] backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -185,6 +204,241 @@ impl Storage for MemStorage {
     }
 }
 
+/// Real-I/O counters of a [`BlockDevice`]: the *measured* side of the E11
+/// sim-vs-disk correlation experiment, kept apart from the simulated
+/// [`crate::IoStats`] so the spec (charged transfers) and the witness
+/// (executed transfers) can be compared.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DiskCounters {
+    /// Blocks actually read from the device.
+    pub block_reads: u64,
+    /// Blocks actually written to the device.
+    pub block_writes: u64,
+    /// `sync` (fsync) barriers issued.
+    pub syncs: u64,
+}
+
+impl DiskCounters {
+    /// Total executed block transfers (reads + writes, syncs excluded).
+    pub fn total(&self) -> u64 {
+        self.block_reads + self.block_writes
+    }
+}
+
+/// A data-carrying block store: the device a [`crate::BufferPool`] fills
+/// missed frames from and writes evicted dirty frames to.
+///
+/// Keys are the machine's opaque `(segment, block)` block keys; a block is
+/// always transferred whole (`block_words` words). Implementations panic on
+/// unrecoverable real I/O errors — a failing *simulated* transfer is the
+/// [`Storage`] gate's job, a failing host filesystem is not recoverable by
+/// the algorithm under test.
+pub trait BlockDevice {
+    /// Words per block (every `read_block`/`write_block` buffer is this long).
+    fn block_words(&self) -> usize;
+    /// Whether `key` has ever been written to the device (and not freed).
+    fn contains(&self, key: u64) -> bool;
+    /// Reads block `key` into `buf`. Panics if the block is absent.
+    fn read_block(&mut self, key: u64, buf: &mut [u64]);
+    /// Writes block `key` from `data`, allocating a slot on first write.
+    fn write_block(&mut self, key: u64, data: &[u64]);
+    /// Releases the slot of `key` (freeing a dead segment's blocks).
+    fn free_block(&mut self, key: u64);
+    /// Durability barrier (`fsync` on a real device).
+    fn sync(&mut self);
+    /// The real-I/O counters so far.
+    fn counters(&self) -> DiskCounters;
+}
+
+/// Process-unique suffix for backing-file names: several machines (one per
+/// PEM worker) create their files in the same temp directory concurrently.
+static DISK_FILE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+#[cfg(unix)]
+fn read_block_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(unix)]
+fn write_block_at(file: &File, buf: &[u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_block_at(mut file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(buf)
+}
+
+#[cfg(not(unix))]
+fn write_block_at(mut file: &File, buf: &[u8], offset: u64) -> io::Result<()> {
+    use std::io::{Seek, SeekFrom, Write};
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(buf)
+}
+
+/// The file-backed block device: blocks live in one real `std::fs::File` at
+/// block-aligned offsets (pread/pwrite-style positional I/O — no append
+/// cursor), `sync` is `fsync`, and the file is unlinked on drop.
+///
+/// The layout is a slot table: the first write of a block key claims the
+/// lowest free `block_words · 8`-byte slot (slots of freed blocks are
+/// recycled), so the file never grows past the peak live block count. Words
+/// are stored little-endian, independent of the host.
+///
+/// `DiskStorage` holds no cache of its own — residency and eviction policy
+/// belong to the [`crate::BufferPool`] in front of it — and it counts every
+/// executed transfer in [`DiskCounters`], the measured side of E11.
+pub struct DiskStorage {
+    file: File,
+    path: PathBuf,
+    block_words: usize,
+    /// block key → slot index in the file.
+    // emlint: allow(uncharged-std, reason = "host-side slot table of the real device, below the charge boundary; one entry per live block, not algorithm memory")
+    slots: HashMap<u64, u64>,
+    free_slots: Vec<u64>,
+    next_slot: u64,
+    /// Reused little-endian staging buffer (one block of bytes).
+    byte_buf: Vec<u8>,
+    counters: DiskCounters,
+}
+
+impl DiskStorage {
+    /// Creates a backing file in the system temp directory. The file name is
+    /// process- and instance-unique, so per-worker machines never collide.
+    pub fn create(block_words: usize) -> io::Result<Self> {
+        Self::create_in(&std::env::temp_dir(), block_words)
+    }
+
+    /// Creates a backing file inside `dir` (which must exist).
+    pub fn create_in(dir: &Path, block_words: usize) -> io::Result<Self> {
+        assert!(block_words > 0, "a block holds at least one word");
+        let seq = DISK_FILE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("emsim-disk-{}-{seq}.blocks", std::process::id()));
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        Ok(Self {
+            file,
+            path,
+            block_words,
+            // emlint: allow(uncharged-std, reason = "slot table of the real device, grown one entry per live block, below the charge boundary")
+            slots: HashMap::new(),
+            // emlint: allow(unleased, reason = "device bookkeeping (free-slot list) plus one reused B-word staging buffer, below the charge boundary")
+            free_slots: Vec::new(),
+            next_slot: 0,
+            byte_buf: vec![0u8; block_words * 8],
+            counters: DiskCounters::default(),
+        })
+    }
+
+    /// The backing file's path (until drop unlinks it).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn slot_offset(&self, slot: u64) -> u64 {
+        slot * (self.block_words as u64) * 8
+    }
+}
+
+impl BlockDevice for DiskStorage {
+    fn block_words(&self) -> usize {
+        self.block_words
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.slots.contains_key(&key)
+    }
+
+    fn read_block(&mut self, key: u64, buf: &mut [u64]) {
+        assert_eq!(buf.len(), self.block_words, "whole-block transfers only");
+        let slot = *self
+            .slots
+            .get(&key)
+            .unwrap_or_else(|| panic!("block {key:#x} was never written to the disk backend"));
+        let offset = self.slot_offset(slot);
+        read_block_at(&self.file, &mut self.byte_buf, offset).unwrap_or_else(|e| {
+            panic!(
+                "disk backend read failed at {} (block {key:#x}): {e}",
+                self.path.display()
+            )
+        });
+        for (i, word) in buf.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&self.byte_buf[i * 8..i * 8 + 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        self.counters.block_reads += 1;
+    }
+
+    fn write_block(&mut self, key: u64, data: &[u64]) {
+        assert_eq!(data.len(), self.block_words, "whole-block transfers only");
+        let next = &mut self.next_slot;
+        let free = &mut self.free_slots;
+        let slot = *self.slots.entry(key).or_insert_with(|| {
+            free.pop().unwrap_or_else(|| {
+                let s = *next;
+                *next += 1;
+                s
+            })
+        });
+        for (i, word) in data.iter().enumerate() {
+            self.byte_buf[i * 8..i * 8 + 8].copy_from_slice(&word.to_le_bytes());
+        }
+        let offset = self.slot_offset(slot);
+        write_block_at(&self.file, &self.byte_buf, offset).unwrap_or_else(|e| {
+            panic!(
+                "disk backend write failed at {} (block {key:#x}): {e}",
+                self.path.display()
+            )
+        });
+        self.counters.block_writes += 1;
+    }
+
+    fn free_block(&mut self, key: u64) {
+        if let Some(slot) = self.slots.remove(&key) {
+            self.free_slots.push(slot);
+        }
+    }
+
+    fn sync(&mut self) {
+        self.file.sync_all().unwrap_or_else(|e| {
+            panic!("disk backend fsync failed at {}: {e}", self.path.display())
+        });
+        self.counters.syncs += 1;
+    }
+
+    fn counters(&self) -> DiskCounters {
+        self.counters
+    }
+}
+
+impl fmt::Debug for DiskStorage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiskStorage")
+            .field("path", &self.path)
+            .field("block_words", &self.block_words)
+            .field("live_blocks", &self.slots.len())
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+impl Drop for DiskStorage {
+    fn drop(&mut self) {
+        // Best-effort cleanup: the temp file is scoped to this device's
+        // lifetime. Ignoring the error is deliberate (the file may already
+        // be gone if the temp dir was purged).
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +482,59 @@ mod tests {
         assert!(format!("{e}").contains("#3"));
         let e = StorageError::TornWrite { io: 9, attempts: 2 };
         assert!(format!("{e}").contains("torn"));
+    }
+
+    #[test]
+    fn disk_storage_round_trips_blocks() {
+        let mut dev = DiskStorage::create(8).expect("temp file");
+        assert!(!dev.contains(3));
+        let data: Vec<u64> = (0..8).map(|i| i * 7 + 1).collect();
+        dev.write_block(3, &data);
+        assert!(dev.contains(3));
+        let mut back = vec![0u64; 8];
+        dev.read_block(3, &mut back);
+        assert_eq!(back, data);
+        dev.sync();
+        let c = dev.counters();
+        assert_eq!((c.block_reads, c.block_writes, c.syncs), (1, 1, 1));
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn disk_storage_recycles_freed_slots() {
+        let mut dev = DiskStorage::create(4).expect("temp file");
+        dev.write_block(1, &[1; 4]);
+        dev.write_block(2, &[2; 4]);
+        let len_two = std::fs::metadata(dev.path()).unwrap().len();
+        dev.free_block(1);
+        assert!(!dev.contains(1));
+        // The freed slot is reused: the file does not grow.
+        dev.write_block(9, &[9; 4]);
+        assert_eq!(std::fs::metadata(dev.path()).unwrap().len(), len_two);
+        let mut back = vec![0u64; 4];
+        dev.read_block(9, &mut back);
+        assert_eq!(back, [9; 4]);
+        // Overwrites reuse the existing slot too.
+        dev.write_block(2, &[7; 4]);
+        assert_eq!(std::fs::metadata(dev.path()).unwrap().len(), len_two);
+        dev.read_block(2, &mut back);
+        assert_eq!(back, [7; 4]);
+    }
+
+    #[test]
+    fn disk_storage_unlinks_its_file_on_drop() {
+        let dev = DiskStorage::create(4).expect("temp file");
+        let path = dev.path().to_path_buf();
+        assert!(path.exists());
+        drop(dev);
+        assert!(!path.exists(), "the backing file is temp-scoped");
+    }
+
+    #[test]
+    #[should_panic(expected = "never written")]
+    fn reading_an_unwritten_block_panics() {
+        let mut dev = DiskStorage::create(4).expect("temp file");
+        let mut buf = vec![0u64; 4];
+        dev.read_block(42, &mut buf);
     }
 }
